@@ -1,0 +1,85 @@
+"""Ablation benchmarks for the design choices DESIGN.md section 5 lists.
+
+These do not correspond to paper figures; they quantify the design
+decisions the paper argues for qualitatively (offset rule, random
+selection, mCache policy, cool-down, sub-stream count).
+"""
+
+import math
+
+from conftest import run_once
+
+from repro.experiments.ablations import (
+    ablate_cooldown,
+    ablate_mcache_policy,
+    ablate_offset_mode,
+    ablate_parent_choice,
+    ablate_substreams,
+)
+
+
+def test_offset_mode(benchmark):
+    result = run_once(benchmark, ablate_offset_mode, seed=10)
+    # Section IV.A: starting from the *latest* block risks buffer underflow
+    # before enough follow-up arrives -> the paper's m - T_p rule should
+    # not be slower to readiness than 'latest' is reliable: compare success
+    paper = result.metrics["tp (paper).success_fraction"]
+    assert paper > 0.7
+    # 'oldest' incurs a longer startup (catching up through old blocks)
+    # whenever it differs at all
+    assert result.metrics["oldest.ready_median_s"] >= (
+        result.metrics["tp (paper).ready_median_s"] - 2.0
+    )
+
+
+def test_parent_choice(benchmark):
+    result = run_once(benchmark, ablate_parent_choice, seed=10)
+    # random selection must be competitive: the paper's claim is that the
+    # *simple random* algorithm suffices to scale
+    rnd = result.metrics["random (paper).continuity"]
+    best = result.metrics["best.continuity"]
+    assert rnd > 0.85
+    assert rnd > best - 0.08
+
+
+def test_mcache_policy(benchmark):
+    result = run_once(benchmark, ablate_mcache_policy, seed=10)
+    # both policies must work; the age policy must not be worse at joining
+    for name in ("random (paper)", "age (suggested)"):
+        assert result.metrics[f"{name}.success_fraction"] > 0.6
+
+
+def test_cooldown(benchmark):
+    result = run_once(benchmark, ablate_cooldown, seed=10)
+    on = result.metrics["cooldown on (paper).adaptations"]
+    off = result.metrics["cooldown off.adaptations"]
+    # without T_a, adaptations multiply (the chain-reaction the paper
+    # introduces the cool-down to damp)
+    assert off > on
+    assert result.metrics["cooldown on (paper).continuity"] > 0.85
+
+
+def test_substreams(benchmark):
+    result = run_once(benchmark, ablate_substreams, seed=10,
+                      k_values=(1, 4))
+    # multi-sub-stream delivery must hold up at least as well as single
+    k1 = result.metrics["K=1.continuity"]
+    k4 = result.metrics["K=4.continuity"]
+    assert not math.isnan(k4)
+    assert k4 > 0.85
+
+
+def test_delivery_mode(benchmark):
+    from repro.experiments.ablations import ablate_delivery_mode
+
+    result = run_once(benchmark, ablate_delivery_mode, seed=10)
+    push_cont = result.metrics["push (paper).continuity"]
+    pull_cont = result.metrics["pull (DONet).continuity"]
+    # both disciplines must stream acceptably...
+    assert push_cont > 0.9
+    assert pull_cont > 0.85
+    # ...and pull pays a visibly larger control-message bill, the economy
+    # argument behind the paper's sub-stream push design
+    assert result.metrics["pull (DONet).data_control_msgs"] > (
+        3.0 * result.metrics["push (paper).data_control_msgs"]
+    )

@@ -1,0 +1,67 @@
+"""Engine performance micro-benchmarks (the only multi-round benches).
+
+These quantify the cost structure the repro=3 hint warns about (simpy-
+style simulation is slow at large peer counts) and the speedup the
+vectorized engine buys:
+
+* event throughput of the discrete-event kernel;
+* reference-engine cost per simulated peer-minute;
+* fastsim cost per simulated peer-minute (should be >= 10x cheaper).
+"""
+
+import numpy as np
+
+from repro.core.config import SystemConfig
+from repro.core.system import CoolstreamingSystem
+from repro.fastsim import FastSimulation
+from repro.sim.engine import Engine
+
+
+def test_event_kernel_throughput(benchmark):
+    def run():
+        eng = Engine()
+        count = 200_000
+
+        def noop():
+            pass
+
+        for i in range(count):
+            eng.schedule(float(i % 100), noop)
+        eng.run()
+        return eng.events_processed
+
+    processed = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert processed == 200_000
+
+
+def test_reference_engine_peer_minutes(benchmark):
+    """100 peers x 5 simulated minutes on the message-level engine."""
+
+    def run():
+        cfg = SystemConfig(n_servers=2)
+        system = CoolstreamingSystem(cfg, seed=0)
+        for u in range(100):
+            system.engine.schedule(
+                u * 0.5, lambda u=u: system.spawn_peer(user_id=u)
+            )
+        system.run(until=300.0)
+        return system.summary()
+
+    summary = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert summary["playing"] >= 90
+
+
+def test_fastsim_peer_minutes(benchmark):
+    """1000 peers x 5 simulated minutes on the vectorized engine."""
+
+    def run():
+        cfg = SystemConfig(n_servers=4)
+        sim = FastSimulation(cfg, seed=0, capacity_hint=2048)
+        sim.add_arrivals(np.linspace(0, 60, 1000), np.full(1000, 600.0))
+        sim.run(until=300.0)
+        return sim
+
+    sim = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert sim.playing_users >= 900
+    # lifetime continuity includes the brutal 1000-arrivals-in-60s warm-up
+    assert sim.mean_continuity() > 0.7

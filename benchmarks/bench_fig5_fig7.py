@@ -1,0 +1,39 @@
+"""Fig. 5 + Fig. 7 regeneration benchmarks (diurnal day, fastsim engine).
+
+Paper shapes asserted:
+
+* Fig. 5 -- audience ramps steeply into the evening peak and collapses at
+  the ~22:00 program ending.
+* Fig. 7 -- media-player-ready times are longest in the period with the
+  highest join rate (the paper's period (iii), 17:30-20:29).
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig5_user_evolution, fig7_ready_time_by_period
+
+DAY = 10_800.0  # a 3-hour "scaled day" (1 paper-hour ~ 7.5 min)
+
+
+def test_fig5_user_evolution(benchmark):
+    result = run_once(
+        benchmark, fig5_user_evolution,
+        seed=1, day_seconds=DAY, peak_rate=1.6, n_servers=5,
+    )
+    # the peak lands in the "evening" (after 70% of the day) ...
+    assert result.metrics["peak_time_frac_of_day"] > 0.70
+    # ... and the 22:00 ending wipes out most of the audience
+    assert result.metrics["drop_after_program_end"] > 0.4
+    assert result.metrics["peak_concurrent"] > 100
+
+
+def test_fig7_ready_time_by_period(benchmark):
+    result = run_once(
+        benchmark, fig7_ready_time_by_period,
+        seed=1, day_seconds=DAY, peak_rate=1.6, n_servers=5,
+    )
+    # paper: ready time "considerably longer during period (iii) when the
+    # join rate is higher"
+    assert result.metrics["peak_period_median_s"] >= (
+        result.metrics["offpeak_median_s"]
+    )

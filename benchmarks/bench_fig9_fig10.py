@@ -1,0 +1,39 @@
+"""Fig. 9 + Fig. 10 regeneration benchmarks.
+
+Paper shapes asserted:
+
+* Fig. 9 -- continuity stays high and roughly flat as system size and
+  join rate grow (the self-scaling claim), with a fixed server fleet.
+* Fig. 10 -- session durations are heavy-tailed with a spike of
+  sub-minute sessions; a noticeable fraction of users needs 1-2 retries.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig9_scalability, fig10_sessions_and_retries
+
+
+def test_fig9_scalability(benchmark):
+    result = run_once(
+        benchmark, fig9_scalability,
+        seed=3, sizes=(150, 300, 600, 1200), join_rates=(0.5, 1.0, 2.0, 4.0),
+        horizon_s=900.0,
+    )
+    # continuity stays high at every size and rate...
+    assert result.metrics["size_sweep_min"] > 0.85
+    assert result.metrics["rate_sweep_min"] > 0.85
+    # ...and roughly flat across an 8x size range
+    assert result.metrics["size_sweep_spread"] < 0.12
+
+
+def test_fig10_sessions_and_retries(benchmark):
+    result = run_once(
+        benchmark, fig10_sessions_and_retries,
+        seed=3, burst_users_per_s=3.5, horizon_s=1500.0, n_servers=3,
+    )
+    # a visible spike of short (<1 min) sessions from failed joins
+    assert result.metrics["short_session_fraction"] > 0.03
+    # the body is heavy-tailed: median well below the horizon
+    assert result.metrics["median_duration_s"] < 0.5 * 1500.0
+    # a noticeable share of users retried at least once
+    assert result.metrics["retried_user_fraction"] > 0.02

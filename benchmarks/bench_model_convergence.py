@@ -1,0 +1,30 @@
+"""Section IV analytical model validation benchmarks.
+
+* Eqs. 3-6 against micro-simulations of the push scheduler.
+* The topology-convergence claim against the two-state Markov model.
+"""
+
+from conftest import run_once
+
+from repro.experiments import (
+    validate_convergence_model,
+    validate_dynamics_equations,
+)
+
+
+def test_dynamics_equations(benchmark):
+    result = run_once(benchmark, validate_dynamics_equations, seed=4)
+    assert result.metrics["eq3_max_rel_error"] < 0.15
+    assert result.metrics["eq6_max_abs_error"] < 0.02
+
+
+def test_convergence_model(benchmark):
+    result = run_once(
+        benchmark, validate_convergence_model,
+        seed=4, rate_per_s=0.35, horizon_s=1200.0, snapshot_every_s=120.0,
+    )
+    # both the measurement and the model put the long-run fraction of
+    # contributor-parented subscriptions high
+    assert result.metrics["measured_final_fraction"] > 0.7
+    assert result.metrics["model_stationary_fraction"] > 0.7
+    assert result.metrics["abs_gap"] < 0.25

@@ -1,0 +1,51 @@
+"""Seed-robustness benchmark.
+
+Every other benchmark asserts a paper shape at one seed; this one checks
+that the two headline claims are not seed-lucky by replicating across
+three seeds and asserting the claim on the *worst* replicate:
+
+* Fig. 3's contribution imbalance (a minority carries >80% of bytes);
+* the Eq. 6 closed form's Monte Carlo agreement.
+"""
+
+from conftest import run_once
+
+from repro.experiments import (
+    fig3_user_types_and_contribution,
+    replicate,
+    validate_dynamics_equations,
+)
+
+
+def test_fig3_claim_holds_across_seeds(benchmark):
+    def run():
+        return replicate(
+            fig3_user_types_and_contribution,
+            seeds=(0, 1, 2),
+            name="fig3",
+            rate_per_s=0.3,
+            horizon_s=800.0,
+        )
+
+    rep = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(rep.render())
+    share = rep.get("contributor_upload_share")
+    assert share.n == 3
+    # the >80% byte share holds for EVERY seed, not just the mean
+    assert share.min > 0.80
+    pop = rep.get("contributor_population_share")
+    assert pop.max < 0.45
+
+
+def test_eq6_agreement_across_seeds(benchmark):
+    def run():
+        return replicate(
+            validate_dynamics_equations, seeds=(0, 1, 2, 3), name="eqs"
+        )
+
+    rep = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(rep.render())
+    assert rep.get("eq6_max_abs_error").max < 0.02
+    assert rep.get("eq3_max_rel_error").max < 0.15

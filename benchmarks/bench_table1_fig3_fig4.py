@@ -1,0 +1,43 @@
+"""Table I + Fig. 3 + Fig. 4 regeneration benchmarks.
+
+Paper shapes asserted:
+
+* Table I -- parameters render with the deployed values (R = 768 kbps).
+* Fig. 3 -- a ~30% contributor-class minority carries > 80% of upload bytes.
+* Fig. 4 -- peers clog under contributor parents; NAT<->NAT links rare.
+"""
+
+from conftest import run_once
+
+from repro.experiments import (
+    fig3_user_types_and_contribution,
+    fig4_overlay_structure,
+    table1,
+)
+
+
+def test_table1(benchmark):
+    result = run_once(benchmark, table1)
+    assert result.metrics["R_kbps"] == 768
+
+
+def test_fig3_contribution_imbalance(benchmark):
+    result = run_once(
+        benchmark, fig3_user_types_and_contribution,
+        seed=0, rate_per_s=0.35, horizon_s=1100.0,
+    )
+    # paper: ~30% of peers contribute >80% of bytes
+    assert result.metrics["contributor_population_share"] < 0.45
+    assert result.metrics["contributor_upload_share"] > 0.80
+    assert result.metrics["top30pct_upload_share"] > 0.80
+
+
+def test_fig4_overlay_structure(benchmark):
+    result = run_once(
+        benchmark, fig4_overlay_structure,
+        seed=0, rate_per_s=0.35, horizon_s=1100.0, snapshot_every_s=275.0,
+    )
+    # paper: "large amount of peers tends to clog under direct/UPnP peers"
+    assert result.metrics["final_contributor_parent_fraction"] > 0.7
+    # paper: "connections among NAT/Firewall peers ... are relatively rare"
+    assert result.metrics["final_random_link_fraction"] < 0.25

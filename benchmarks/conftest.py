@@ -1,0 +1,22 @@
+"""Benchmark harness configuration.
+
+Every benchmark runs its figure exactly once (``rounds=1``): these are
+experiment regenerations, not micro-benchmarks, and a single run already
+takes seconds.  The rendered figure is printed so that
+``pytest benchmarks/ --benchmark-only -s`` reproduces the paper's tables
+and series on stdout; EXPERIMENTS.md records the paper-vs-measured
+comparison.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer, print the
+    rendered figure and return the result for assertions."""
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                rounds=1, iterations=1)
+    if hasattr(result, "render"):
+        print()
+        print(result.render())
+    return result

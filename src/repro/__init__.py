@@ -1,0 +1,30 @@
+"""repro -- a reproduction of "A Measurement of a Large-scale Peer-to-Peer
+Live Video Streaming System" (Xie, Keung, Li; ICPP 2007).
+
+The library implements the Coolstreaming mesh-pull live streaming protocol
+(membership gossip, partnerships, sub-stream buffer maps, peer adaptation),
+the network and workload substrates needed to recreate the measured
+2006-09-27 broadcast synthetically, the paper's internal logging pipeline,
+the analytical model of Section IV, and an experiment harness regenerating
+every figure of the evaluation.
+
+Quick start::
+
+    from repro import CoolstreamingSystem, SystemConfig
+
+    system = CoolstreamingSystem(SystemConfig(n_servers=2), seed=7)
+    for user in range(20):
+        system.engine.schedule(user * 1.0, lambda u=user: system.spawn_peer(user_id=u))
+    system.run(until=300.0)
+    print(system.summary())
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.core.config import SystemConfig
+from repro.core.system import CoolstreamingSystem
+
+__version__ = "1.0.0"
+
+__all__ = ["CoolstreamingSystem", "SystemConfig", "__version__"]

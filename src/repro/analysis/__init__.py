@@ -1,0 +1,64 @@
+"""Trace analysis toolkit.
+
+Everything here consumes *only* the log server's contents -- the same
+information the authors had -- so the measurement artefacts of Section V
+(5-minute report granularity, reports lost to abrupt departures) affect
+our figures the same way they affected the paper's.
+
+* :mod:`repro.analysis.sessions` -- session reconstruction (Figs. 5, 6, 7, 10).
+* :mod:`repro.analysis.classification` -- the Section V.B user-type
+  classifier (Fig. 3a).
+* :mod:`repro.analysis.contribution` -- upload-contribution shares (Fig. 3b).
+* :mod:`repro.analysis.continuity` -- continuity-index aggregation (Figs. 8, 9).
+* :mod:`repro.analysis.topology` -- overlay-structure statistics (Fig. 4),
+  the one consumer of simulator-side snapshots (the paper, too, could only
+  *conjecture* the overlay -- we get to check the conjecture).
+* :mod:`repro.analysis.stats` -- CDF / binning helpers shared by all.
+"""
+
+from repro.analysis.funnel import JoinFunnel, funnel_by_attempt, join_funnel
+from repro.analysis.partners import (
+    churn_by_type,
+    churn_rate_timeseries,
+    partner_events,
+    partnership_lifetimes,
+)
+from repro.analysis.resources import (
+    SupplyDemand,
+    supply_demand_snapshot,
+    upload_rate_timeseries,
+    utilization_by_class,
+)
+from repro.analysis.sessions import Session, SessionTable
+from repro.analysis.classification import UserType, classify_users
+from repro.analysis.contribution import contribution_by_type, upload_shares, lorenz_curve
+from repro.analysis.continuity import continuity_timeseries, continuity_by_type
+from repro.analysis.topology import OverlaySnapshot, snapshot_overlay
+from repro.analysis.stats import Cdf, bin_timeseries
+
+__all__ = [
+    "JoinFunnel",
+    "funnel_by_attempt",
+    "join_funnel",
+    "churn_by_type",
+    "churn_rate_timeseries",
+    "partner_events",
+    "partnership_lifetimes",
+    "SupplyDemand",
+    "supply_demand_snapshot",
+    "upload_rate_timeseries",
+    "utilization_by_class",
+    "Session",
+    "SessionTable",
+    "UserType",
+    "classify_users",
+    "contribution_by_type",
+    "upload_shares",
+    "lorenz_curve",
+    "continuity_timeseries",
+    "continuity_by_type",
+    "OverlaySnapshot",
+    "snapshot_overlay",
+    "Cdf",
+    "bin_timeseries",
+]

@@ -1,0 +1,109 @@
+"""Continuity-index aggregation (Figs. 8 and 9).
+
+"Continuity index is defined as the number of blocks that arrive before
+playback deadlines over the total number of blocks."  Each 5-minute QoS
+report carries the window continuity of one node; Fig. 8 bins those
+samples by time and user type, Fig. 9 relates run-level averages to
+system size and join rate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.classification import UserType, classify_users
+from repro.analysis.stats import bin_timeseries
+from repro.telemetry.reports import QoSReport
+from repro.telemetry.server import LogServer
+
+__all__ = [
+    "continuity_samples",
+    "continuity_timeseries",
+    "continuity_by_type",
+    "mean_continuity",
+]
+
+
+def continuity_samples(
+    log: LogServer, *, playing_only: bool = True
+) -> List[Tuple[float, int, float]]:
+    """(report_time, node_id, continuity) for every QoS report that carried
+    a continuity value."""
+    out = []
+    for report in log.reports_of(QoSReport):
+        assert isinstance(report, QoSReport)
+        if report.continuity is None:
+            continue
+        if playing_only and not report.playing:
+            continue
+        out.append((report.time, report.node_id, report.continuity))
+    return out
+
+
+def continuity_timeseries(
+    log: LogServer, *, bin_s: float = 300.0, t0: float = 0.0,
+    t1: Optional[float] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Average continuity over all users per time bin (centers, means,
+    sample counts)."""
+    samples = continuity_samples(log)
+    if not samples:
+        raise ValueError("log contains no continuity samples")
+    times = [s[0] for s in samples]
+    values = [s[2] for s in samples]
+    return bin_timeseries(times, values, bin_s=bin_s, t0=t0, t1=t1)
+
+
+def continuity_by_type(
+    log: LogServer,
+    *,
+    bin_s: float = 300.0,
+    t0: float = 0.0,
+    t1: Optional[float] = None,
+    types: Optional[Dict[int, UserType]] = None,
+) -> Dict[UserType, Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Fig. 8: continuity-vs-time, one series per user type.
+
+    Types come from the Section V.B classifier unless supplied.  Note the
+    paper's artefact is preserved end-to-end: NAT/firewall nodes that
+    stalled and departed never delivered the QoS report covering their bad
+    window, so their curve can sit *above* the direct-connect curve.
+    """
+    if types is None:
+        types = classify_users(log)
+    samples = continuity_samples(log)
+    if not samples:
+        raise ValueError("log contains no continuity samples")
+    out: Dict[UserType, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+    horizon = t1 if t1 is not None else max(s[0] for s in samples) + bin_s
+    for ut in UserType:
+        sub = [s for s in samples if types.get(s[1]) is ut]
+        if not sub:
+            continue
+        out[ut] = bin_timeseries(
+            [s[0] for s in sub], [s[2] for s in sub],
+            bin_s=bin_s, t0=t0, t1=horizon,
+        )
+    return out
+
+
+def mean_continuity(
+    log: LogServer, *, after: float = 0.0, types: Optional[Dict[int, UserType]] = None,
+    user_type: Optional[UserType] = None,
+) -> float:
+    """Run-level average continuity (the Fig. 9 y-value), optionally for
+    one user type and excluding warm-up reports before ``after``."""
+    if user_type is not None and types is None:
+        types = classify_users(log)
+    values = []
+    for t, node_id, c in continuity_samples(log):
+        if t < after:
+            continue
+        if user_type is not None and types.get(node_id) is not user_type:
+            continue
+        values.append(c)
+    if not values:
+        return float("nan")
+    return float(np.mean(values))

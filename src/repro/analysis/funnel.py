@@ -1,0 +1,111 @@
+"""Join-funnel analysis: where sessions stall in the join pipeline.
+
+Section V.C defines the session event chain -- join, start-subscription,
+media-player-ready, leave -- and Sections V.C/V.E discuss the users that
+fall out before readiness (impatient re-tries, flash-crowd victims).
+This module quantifies the funnel from the log: how many sessions reach
+each stage, the per-stage conversion, and how the funnel tightens with
+load -- the diagnostic the paper's "possible improvement" paragraph calls
+for when tuning the mCache policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.sessions import SessionTable
+from repro.telemetry.server import LogServer
+
+__all__ = ["JoinFunnel", "join_funnel", "funnel_by_attempt"]
+
+
+@dataclass(frozen=True)
+class JoinFunnel:
+    """Session counts at each stage of the Section V.C event chain."""
+
+    joined: int
+    subscribed: int
+    ready: int
+    completed: int  # reached ready AND reported a leave (a normal session)
+
+    def __post_init__(self) -> None:
+        if not (self.joined >= self.subscribed >= self.ready >= self.completed
+                >= 0):
+            raise ValueError("funnel stages must be monotone non-increasing")
+
+    @property
+    def subscription_rate(self) -> float:
+        """P(start-subscription | join)."""
+        return self.subscribed / self.joined if self.joined else float("nan")
+
+    @property
+    def ready_rate(self) -> float:
+        """P(player-ready | join) -- the join success probability."""
+        return self.ready / self.joined if self.joined else float("nan")
+
+    @property
+    def buffering_survival(self) -> float:
+        """P(player-ready | start-subscription): surviving the buffer fill."""
+        return self.ready / self.subscribed if self.subscribed else float("nan")
+
+    def rows(self) -> List[Tuple[str, int, str]]:
+        """(stage, sessions, conversion-from-join) table rows."""
+        out = []
+        for name, count in (
+            ("join", self.joined),
+            ("start-subscription", self.subscribed),
+            ("player-ready", self.ready),
+            ("normal (ready + leave)", self.completed),
+        ):
+            frac = count / self.joined if self.joined else float("nan")
+            out.append((name, count, f"{frac * 100:.1f}%"))
+        return out
+
+
+def join_funnel(log: LogServer,
+                table: Optional[SessionTable] = None) -> JoinFunnel:
+    """Build the funnel over every session in the log."""
+    if table is None:
+        table = SessionTable.from_log(log)
+    joined = subscribed = ready = completed = 0
+    for sess in table:
+        if sess.join_time is None:
+            continue
+        joined += 1
+        if sess.subscription_time is not None:
+            subscribed += 1
+            if sess.ready_time is not None:
+                ready += 1
+                if sess.leave_time is not None:
+                    completed += 1
+    return JoinFunnel(joined=joined, subscribed=subscribed, ready=ready,
+                      completed=completed)
+
+
+def funnel_by_attempt(log: LogServer) -> Dict[int, JoinFunnel]:
+    """One funnel per join-attempt number.
+
+    Retry attempts face a *warmer* overlay (the user's earlier failures
+    seeded nothing, but time passed), so later attempts usually convert
+    better -- the mechanism behind Fig. 10b's "1 or 2 retries suffice".
+    """
+    table = SessionTable.from_log(log)
+    buckets: Dict[int, List] = {}
+    for sess in table:
+        if sess.join_time is not None:
+            buckets.setdefault(sess.attempt, []).append(sess)
+    out: Dict[int, JoinFunnel] = {}
+    for attempt, sessions in sorted(buckets.items()):
+        joined = len(sessions)
+        subscribed = sum(1 for s in sessions if s.subscription_time is not None)
+        ready = sum(1 for s in sessions if s.ready_time is not None)
+        completed = sum(
+            1 for s in sessions
+            if s.ready_time is not None and s.leave_time is not None
+        )
+        out[attempt] = JoinFunnel(joined=joined, subscribed=subscribed,
+                                  ready=ready, completed=completed)
+    return out

@@ -1,0 +1,106 @@
+"""Partner-churn analysis from the compact partner reports.
+
+The deployed log system batches partner add/drop events into 5-minute
+partner reports precisely because "nodes might change partners
+frequently"; this module unpacks those series again and quantifies the
+churn the paper describes qualitatively (Section V.B: unstable peers
+"have to re-select parent relatively often").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.classification import UserType, classify_users
+from repro.analysis.stats import bin_timeseries
+from repro.telemetry.reports import PartnerOp, PartnerReport
+from repro.telemetry.server import LogServer
+
+__all__ = [
+    "partner_events",
+    "churn_rate_timeseries",
+    "partnership_lifetimes",
+    "churn_by_type",
+]
+
+
+def partner_events(log: LogServer) -> List[Tuple[float, int, PartnerOp, int, bool]]:
+    """Flatten every compact partner report back into
+    ``(event_time, node_id, op, partner_id, incoming)`` tuples."""
+    out = []
+    for report in log.reports_of(PartnerReport):
+        assert isinstance(report, PartnerReport)
+        for ev in report.events:
+            out.append((ev.time, report.node_id, ev.op, ev.partner_id,
+                        ev.incoming))
+    out.sort(key=lambda x: x[0])
+    return out
+
+
+def churn_rate_timeseries(
+    log: LogServer, *, bin_s: float = 300.0, t1: Optional[float] = None
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Partner add and drop counts per time bin.
+
+    Returns ``(bin_centers, adds, drops)`` -- the overlay's re-wiring
+    intensity over time; spikes align with flash crowds and program ends.
+    """
+    events = partner_events(log)
+    if not events:
+        raise ValueError("log contains no partner events")
+    times = np.array([e[0] for e in events])
+    is_add = np.array([e[2] is PartnerOp.ADD for e in events], dtype=float)
+    if t1 is None:
+        t1 = float(times.max()) + bin_s
+    centers, _means, add_counts = bin_timeseries(
+        times[is_add.astype(bool)], np.ones(int(is_add.sum())),
+        bin_s=bin_s, t1=t1,
+    )
+    _c, _m, drop_counts = bin_timeseries(
+        times[~is_add.astype(bool)], np.ones(int((1 - is_add).sum())),
+        bin_s=bin_s, t1=t1,
+    )
+    return centers, add_counts, drop_counts
+
+
+def partnership_lifetimes(log: LogServer) -> List[float]:
+    """Observed partnership lifetimes: time between the ADD and DROP of
+    the same (node, partner) pair.  Pairs never dropped (still alive or
+    lost to abrupt departure) are right-censored and omitted, exactly as
+    they would be in the real trace."""
+    open_at: Dict[Tuple[int, int], float] = {}
+    lifetimes: List[float] = []
+    for t, node, op, partner, _inc in partner_events(log):
+        key = (node, partner)
+        if op is PartnerOp.ADD:
+            open_at[key] = t
+        else:
+            start = open_at.pop(key, None)
+            if start is not None and t >= start:
+                lifetimes.append(t - start)
+    return lifetimes
+
+
+def churn_by_type(
+    log: LogServer, types: Optional[Dict[int, UserType]] = None
+) -> Dict[UserType, float]:
+    """Mean partner drops per node, by user type.
+
+    The paper's stability story predicts NAT/firewall peers re-wire more
+    than direct/UPnP peers (their parents' children lose competitions).
+    """
+    if types is None:
+        types = classify_users(log)
+    drops: Dict[int, int] = {}
+    for _t, node, op, _p, _inc in partner_events(log):
+        if op is PartnerOp.DROP:
+            drops[node] = drops.get(node, 0) + 1
+    out: Dict[UserType, float] = {}
+    for ut in UserType:
+        members = [nid for nid, t in types.items() if t is ut]
+        if members:
+            out[ut] = float(np.mean([drops.get(nid, 0) for nid in members]))
+    return out

@@ -1,0 +1,221 @@
+"""Node-side buffering (Fig. 2): synchronization buffer, cache buffer and
+the 2K-tuple buffer map.
+
+A received block first lands in the per-sub-stream *synchronization buffer*,
+which absorbs out-of-order arrival and exposes the contiguous head.  The
+*combination process* merges the K sub-streams into one playable stream: it
+advances as far as global sequence numbers are continuous and stalls at the
+first sub-stream whose next block is missing (Fig. 2b).  Combined blocks
+move to the *cache buffer*, a sliding window of the last ``B`` seconds from
+which the node serves its children.
+
+The *buffer map* (BM) is the 2K-tuple exchanged between partners: the first
+K entries are the latest received global sequence numbers per sub-stream,
+the second K entries flag which sub-streams the sender subscribes to from
+the receiving partner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.core.blocks import StreamGeometry
+
+__all__ = ["SyncBuffer", "CacheBuffer", "BufferMap", "combined_prefix_end"]
+
+
+class SyncBuffer:
+    """Per-sub-stream reassembly buffer.
+
+    Tracks the contiguous head of one sub-stream and a bounded set of
+    out-of-order blocks beyond it.  ``count`` is the number of blocks in
+    the contiguous prefix, i.e. local indices ``start .. start+count-1``
+    are all present (``start`` supports mid-stream joins, where history
+    before the join offset never existed).
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise ValueError("start must be non-negative")
+        self._start = start
+        self._count = 0
+        self._pending: set[int] = set()
+
+    @property
+    def start(self) -> int:
+        """Start of the contiguous range."""
+        return self._start
+
+    @property
+    def count(self) -> int:
+        """Blocks in the contiguous prefix."""
+        return self._count
+
+    @property
+    def head(self) -> int:
+        """Local index of the newest contiguous block; ``start - 1`` if empty."""
+        return self._start + self._count - 1
+
+    @property
+    def pending(self) -> frozenset[int]:
+        """Out-of-order blocks waiting for a gap to fill."""
+        return frozenset(self._pending)
+
+    def receive(self, local_index: int) -> int:
+        """Insert one block; returns how far the contiguous head advanced.
+
+        Duplicate and pre-``start`` blocks are ignored (the deployed system
+        tolerates both: a re-selected parent re-pushes from the requested
+        offset).
+        """
+        if local_index < self._start + self._count:
+            return 0
+        advanced = 0
+        if local_index == self._start + self._count:
+            self._count += 1
+            advanced += 1
+            # drain any now-contiguous pending blocks
+            while (self._start + self._count) in self._pending:
+                self._pending.remove(self._start + self._count)
+                self._count += 1
+                advanced += 1
+        else:
+            self._pending.add(local_index)
+        return advanced
+
+    def receive_range(self, first: int, last: int) -> int:
+        """Insert blocks ``first..last`` inclusive; returns head advance.
+
+        Batch form used by the push data plane (a parent delivers an
+        interval of blocks per scheduling quantum, never objects per block).
+        """
+        if last < first:
+            raise ValueError("empty range")
+        next_needed = self._start + self._count
+        if first <= next_needed and not self._pending:
+            # contiguous extension, no gaps to bridge: bulk advance (the
+            # push data plane hits this path almost always)
+            if last < next_needed:
+                return 0
+            advanced = last - next_needed + 1
+            self._count += advanced
+            return advanced
+        advanced = 0
+        for idx in range(max(first, next_needed), last + 1):
+            advanced += self.receive(idx)
+        return advanced
+
+
+class CacheBuffer:
+    """Sliding availability window over combined blocks.
+
+    A node can serve a child only blocks that are still within ``window``
+    local indices of the sub-stream head -- older blocks have been pushed
+    out by playout (Section IV.A's unavailability hazard for joiners that
+    request too-old blocks).
+    """
+
+    def __init__(self, window: int) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self._window = int(window)
+
+    @property
+    def window(self) -> int:
+        """Cache-window span in blocks."""
+        return self._window
+
+    def oldest_available(self, head: int) -> int:
+        """Oldest local index still servable given a sub-stream ``head``."""
+        return max(0, head - self._window + 1)
+
+    def available(self, head: int, local_index: int) -> bool:
+        """Whether block ``local_index`` is in the window for ``head``."""
+        return self.oldest_available(head) <= local_index <= head
+
+
+@dataclass(frozen=True)
+class BufferMap:
+    """The 2K-tuple of Fig. 2: latest sequence numbers + subscriptions.
+
+    ``heads`` holds, per sub-stream, the latest received *global* sequence
+    number (``-1`` when nothing received yet).  ``subscriptions`` flags the
+    sub-streams the BM's sender currently pulls from the partner it sends
+    the BM to.
+    """
+
+    heads: tuple[int, ...]
+    subscriptions: tuple[bool, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.heads) != len(self.subscriptions):
+            raise ValueError("heads and subscriptions must have length K each")
+        if len(self.heads) == 0:
+            raise ValueError("buffer map needs at least one sub-stream")
+        if any(h < -1 for h in self.heads):
+            raise ValueError("heads must be >= -1")
+
+    @property
+    def k(self) -> int:
+        """Number of sub-streams."""
+        return len(self.heads)
+
+    @property
+    def max_head(self) -> int:
+        """Most advanced sub-stream head (the ``m`` of Section IV.A)."""
+        return max(self.heads)
+
+    @property
+    def min_head(self) -> int:
+        """Least advanced sub-stream head (the ``n`` of Section IV.A)."""
+        return min(self.heads)
+
+    def head_local(self, substream: int, geometry: StreamGeometry) -> int:
+        """Latest received *local* index on ``substream`` (-1 if none)."""
+        g = self.heads[substream]
+        return -1 if g < 0 else geometry.local_index(g)
+
+    def as_tuple(self) -> tuple[int, ...]:
+        """Flat 2K-tuple wire representation."""
+        return tuple(self.heads) + tuple(int(s) for s in self.subscriptions)
+
+    @classmethod
+    def from_tuple(cls, values: Sequence[int]) -> "BufferMap":
+        """Parse the flat 2K-tuple representation."""
+        if len(values) % 2 != 0 or len(values) == 0:
+            raise ValueError("buffer map tuple must have even, positive length")
+        k = len(values) // 2
+        heads = tuple(int(v) for v in values[:k])
+        subs = tuple(bool(v) for v in values[k:])
+        return cls(heads=heads, subscriptions=subs)
+
+    @classmethod
+    def from_local_heads(
+        cls,
+        local_heads: Iterable[int],
+        geometry: StreamGeometry,
+        subscriptions: Optional[Sequence[bool]] = None,
+    ) -> "BufferMap":
+        """Build from per-sub-stream local indices (-1 = nothing yet)."""
+        heads = []
+        for sub, h in enumerate(local_heads):
+            heads.append(-1 if h < 0 else geometry.global_seq(sub, h))
+        if subscriptions is None:
+            subscriptions = (False,) * len(heads)
+        return cls(heads=tuple(heads), subscriptions=tuple(bool(s) for s in subscriptions))
+
+
+def combined_prefix_end(counts: Sequence[int], k: int) -> int:
+    """First missing *global* sequence number given per-sub-stream contiguous
+    block counts (the combination process of Fig. 2b).
+
+    Sub-stream ``i`` with ``counts[i]`` contiguous blocks first misses global
+    sequence ``i + k * counts[i]``; the combined stream ends at the minimum
+    over sub-streams.
+    """
+    if len(counts) != k:
+        raise ValueError("need one count per sub-stream")
+    if any(c < 0 for c in counts):
+        raise ValueError("counts must be non-negative")
+    return min(i + k * c for i, c in enumerate(counts))

@@ -1,0 +1,268 @@
+"""Whole-system wiring: engine + source + servers + bootstrap + peers.
+
+:class:`CoolstreamingSystem` owns the simulation kernel, the network
+substrate, the telemetry server and the node registry, and provides the
+latency-scheduled RPC fabric over which nodes talk.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.blocks import StreamGeometry
+from repro.core.config import SystemConfig
+from repro.core.node import NodeState, PeerNode
+from repro.core.source import (
+    BOOTSTRAP_ID,
+    LOGSERVER_ID,
+    SOURCE_ID,
+    BootstrapNode,
+    DedicatedServer,
+    SourceNode,
+)
+from repro.network.capacity import CapacityModel
+from repro.network.connectivity import ConnectivityClass, ConnectivityMix
+from repro.network.latency import LatencyModel
+from repro.sim.engine import Engine
+from repro.sim.rng import RngHub
+from repro.telemetry.reporter import NodeReporter
+from repro.telemetry.server import LogServer
+
+__all__ = ["CoolstreamingSystem", "NullReporter"]
+
+
+class NullReporter:
+    """Reporter stand-in for infrastructure nodes: swallows everything."""
+
+    def __init__(self) -> None:
+        self.reports_sent = 0
+
+    def activity(self, *args, **kwargs) -> None:
+        """No-op: infrastructure nodes do not report."""
+        pass
+
+    def install_status_provider(self, provider) -> None:
+        """No-op: infrastructure nodes do not report."""
+        pass
+
+    def record_partner_event(self, *args, **kwargs) -> None:
+        """No-op: infrastructure nodes do not report."""
+        pass
+
+    def drain_partner_events(self) -> tuple:
+        """Return and clear buffered partner events."""
+        return ()
+
+    def close(self, silent: bool) -> None:
+        """Stop reporting."""
+        pass
+
+
+class CoolstreamingSystem:
+    """A complete Coolstreaming deployment on one simulation engine.
+
+    Parameters
+    ----------
+    cfg:
+        Protocol and deployment parameters (Table I and friends).
+    seed:
+        Root seed for every random stream in the run.
+    capacity_model, latency_model, connectivity_mix:
+        Network substrate; defaults follow DESIGN.md's 2006 calibration.
+    log_server:
+        Destination for telemetry; a fresh one is created when omitted.
+    """
+
+    def __init__(
+        self,
+        cfg: Optional[SystemConfig] = None,
+        *,
+        seed: int = 0,
+        capacity_model: Optional[CapacityModel] = None,
+        latency_model: Optional[LatencyModel] = None,
+        connectivity_mix: Optional[ConnectivityMix] = None,
+        log_server: Optional[LogServer] = None,
+        start_servers: bool = True,
+        engine: Optional[Engine] = None,
+        rng: Optional[RngHub] = None,
+        node_id_base: int = 1000,
+        session_id_base: int = 1,
+    ) -> None:
+        self.cfg = cfg or SystemConfig()
+        # engine/rng may be supplied so several systems (e.g. the channels
+        # of a multi-channel deployment) share one simulated clock while
+        # keeping their random streams independent
+        self.engine = engine if engine is not None else Engine()
+        self.rng = rng if rng is not None else RngHub(seed)
+        self.geometry = StreamGeometry(self.cfg.n_substreams)
+        self.latency = latency_model or LatencyModel()
+        self.capacity = capacity_model or CapacityModel()
+        self.mix = connectivity_mix or ConnectivityMix()
+        self.log = log_server or LogServer()
+
+        self._nodes: Dict[int, object] = {}
+        # id bases keep node/session ids disjoint across co-hosted systems
+        # (multi-channel deployments merge their logs for analysis)
+        self._next_node_id = int(node_id_base)
+        self._next_session_id = int(session_id_base)
+        self.sessions_spawned = 0
+
+        # log-server uplink latency endpoint
+        self.latency.register(LOGSERVER_ID, self.rng.stream("latency"))
+
+        self.bootstrap = BootstrapNode(self)
+        self.source = SourceNode(self)
+        self._nodes[SOURCE_ID] = self.source
+        self.servers: List[DedicatedServer] = []
+        if start_servers:
+            for i in range(self.cfg.n_servers):
+                # servers sit just below the peer id range so they stay
+                # disjoint across co-hosted channels too
+                server = DedicatedServer(self, node_id=node_id_base - 1000 + i + 1)
+                self._nodes[server.node_id] = server
+                self.servers.append(server)
+                server.start()
+
+    # ------------------------------------------------------------------
+    # registry & RPC fabric
+    # ------------------------------------------------------------------
+    def get_node(self, node_id: int):
+        """Node object by id (None when unknown)."""
+        return self._nodes.get(node_id)
+
+    def rpc(self, src_id: int, dst_id: int, method: str, *args) -> None:
+        """Invoke ``method`` on the destination node after one propagation
+        delay.  Dropped silently if the destination is gone by then."""
+        try:
+            delay = self.latency.delay(src_id, dst_id)
+        except KeyError:
+            delay = self.latency.base_s
+
+        def dispatch() -> None:
+            """Deliver the RPC if the destination is still alive."""
+            node = self._nodes.get(dst_id)
+            if node is None or not getattr(node, "alive", False):
+                return
+            fn = getattr(node, method, None)
+            if fn is not None:
+                fn(*args)
+
+        self.engine.schedule(delay, dispatch)
+
+    def make_reporter(self, node: PeerNode):
+        """Build the telemetry agent for a node."""
+        if node.is_server:
+            return NullReporter()
+        try:
+            uplink = self.latency.delay(node.node_id, LOGSERVER_ID)
+        except KeyError:
+            uplink = 0.05
+        return NodeReporter(
+            self.engine,
+            self.log,
+            node_id=node.node_id,
+            user_id=node.user_id,
+            session_id=node.session_id,
+            uplink_delay_s=uplink,
+            status_period_s=self.cfg.status_report_period_s,
+            address_public=node.connectivity.has_public_address,
+        )
+
+    # ------------------------------------------------------------------
+    # population management
+    # ------------------------------------------------------------------
+    def spawn_peer(
+        self,
+        *,
+        user_id: int,
+        attempt: int = 1,
+        connectivity: Optional[ConnectivityClass] = None,
+        upload_bps: Optional[float] = None,
+    ) -> PeerNode:
+        """Create and start a new peer session."""
+        rng = self.rng.stream("population")
+        if connectivity is None:
+            connectivity = self.mix.sample(rng)
+        if upload_bps is None:
+            upload_bps = self.capacity.sample_upload(connectivity, rng)
+        node_id = self._next_node_id
+        self._next_node_id += 1
+        session_id = self._next_session_id
+        self._next_session_id += 1
+        node = PeerNode(
+            self,
+            node_id=node_id,
+            user_id=user_id,
+            session_id=session_id,
+            attempt=attempt,
+            connectivity=connectivity,
+            upload_bps=upload_bps,
+        )
+        self._nodes[node_id] = node
+        self.sessions_spawned += 1
+        node.start()
+        return node
+
+    def on_node_left(self, node: PeerNode) -> None:
+        """Callback from a leaving node: free its network endpoint.  The
+        node object stays in the registry (marked dead) so that in-flight
+        RPCs resolve and post-run analysis can inspect it."""
+        self.latency.unregister(node.node_id)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def peers(self, *, alive_only: bool = True) -> List[PeerNode]:
+        """All user peers (never servers or the source)."""
+        out = []
+        for node in self._nodes.values():
+            if isinstance(node, PeerNode) and not node.is_server:
+                if not alive_only or node.alive:
+                    out.append(node)
+        return out
+
+    def all_streaming_nodes(self) -> List[PeerNode]:
+        """Servers plus alive user peers (potential parents)."""
+        return [
+            n for n in self._nodes.values()
+            if isinstance(n, PeerNode) and n.alive
+        ]
+
+    @property
+    def concurrent_users(self) -> int:
+        """Alive user peers right now."""
+        return sum(
+            1 for n in self._nodes.values()
+            if isinstance(n, PeerNode) and not n.is_server and n.alive
+        )
+
+    def parent_child_edges(self) -> List[Tuple[int, int, int]]:
+        """Current (parent, child, substream) edges, servers included."""
+        edges = []
+        for node in self._nodes.values():
+            if isinstance(node, PeerNode) and node.alive:
+                for sub, parent in enumerate(node.parents):
+                    if parent is not None:
+                        edges.append((parent, node.node_id, sub))
+        return edges
+
+    def run(self, until: float) -> None:
+        """Advance the simulation to absolute time ``until``."""
+        self.engine.run(until=until)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, float]:
+        """Quick aggregate health snapshot (simulator-side, not from logs)."""
+        peers = self.peers(alive_only=True)
+        playing = [p for p in peers if p.state is NodeState.PLAYING]
+        cont = [
+            p.playback.continuity_index for p in playing if p.playback is not None
+        ]
+        return {
+            "time": self.engine.now,
+            "concurrent_users": float(len(peers)),
+            "playing": float(len(playing)),
+            "mean_continuity": (sum(cont) / len(cont)) if cont else float("nan"),
+            "sessions_spawned": float(self.sessions_spawned),
+            "log_entries": float(len(self.log)),
+        }

@@ -1,0 +1,51 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+Each ``figN`` function runs the appropriate scenario, analyses the logs
+exactly as Section V does, and returns a :class:`FigureResult` whose
+``render()`` prints the same rows/series the paper reports.  The benchmark
+suite under ``benchmarks/`` wraps these one-to-one.
+"""
+
+from repro.experiments.render import (
+    FigureResult,
+    render_cdf_table,
+    render_series,
+    render_table,
+)
+from repro.experiments.figures import (
+    table1,
+    fig3_user_types_and_contribution,
+    fig4_overlay_structure,
+    fig5_user_evolution,
+    fig6_join_time_cdfs,
+    fig7_ready_time_by_period,
+    fig8_continuity_by_type,
+    fig9_scalability,
+    fig10_sessions_and_retries,
+)
+from repro.experiments.replication import MetricSummary, ReplicationResult, replicate
+from repro.experiments.model_validation import (
+    validate_dynamics_equations,
+    validate_convergence_model,
+)
+
+__all__ = [
+    "FigureResult",
+    "render_cdf_table",
+    "render_series",
+    "render_table",
+    "table1",
+    "fig3_user_types_and_contribution",
+    "fig4_overlay_structure",
+    "fig5_user_evolution",
+    "fig6_join_time_cdfs",
+    "fig7_ready_time_by_period",
+    "fig8_continuity_by_type",
+    "fig9_scalability",
+    "fig10_sessions_and_retries",
+    "validate_dynamics_equations",
+    "validate_convergence_model",
+    "MetricSummary",
+    "ReplicationResult",
+    "replicate",
+]

@@ -1,0 +1,118 @@
+"""Command-line interface: regenerate paper artefacts from the shell.
+
+Usage::
+
+    python -m repro list                 # what can be regenerated
+    python -m repro table1
+    python -m repro fig3 [--seed 7]
+    python -m repro fig9 --seed 1
+    python -m repro all                  # everything (several minutes)
+    python -m repro ablations            # design-choice ablations
+
+Each command runs the corresponding experiment at the default benchmark
+scale and prints the rendered tables/series.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.experiments import (
+    fig3_user_types_and_contribution,
+    fig4_overlay_structure,
+    fig5_user_evolution,
+    fig6_join_time_cdfs,
+    fig7_ready_time_by_period,
+    fig8_continuity_by_type,
+    fig9_scalability,
+    fig10_sessions_and_retries,
+    table1,
+    validate_convergence_model,
+    validate_dynamics_equations,
+)
+from repro.experiments.ablations import (
+    ablate_cooldown,
+    ablate_delivery_mode,
+    ablate_mcache_policy,
+    ablate_offset_mode,
+    ablate_parent_choice,
+    ablate_substreams,
+)
+
+__all__ = ["main", "EXPERIMENTS"]
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "table1": lambda seed: table1(),
+    "fig3": lambda seed: fig3_user_types_and_contribution(seed=seed),
+    "fig4": lambda seed: fig4_overlay_structure(seed=seed),
+    "fig5": lambda seed: fig5_user_evolution(seed=seed),
+    "fig6": lambda seed: fig6_join_time_cdfs(seed=seed),
+    "fig7": lambda seed: fig7_ready_time_by_period(seed=seed),
+    "fig8": lambda seed: fig8_continuity_by_type(seed=seed),
+    "fig9": lambda seed: fig9_scalability(seed=seed),
+    "fig10": lambda seed: fig10_sessions_and_retries(seed=seed),
+    "model": lambda seed: validate_dynamics_equations(seed=seed),
+    "convergence": lambda seed: validate_convergence_model(seed=seed),
+}
+
+ABLATIONS: Dict[str, Callable] = {
+    "offset": ablate_offset_mode,
+    "parent-choice": ablate_parent_choice,
+    "mcache": ablate_mcache_policy,
+    "cooldown": ablate_cooldown,
+    "substreams": ablate_substreams,
+    "delivery-mode": ablate_delivery_mode,
+}
+
+
+def _run_one(name: str, fn: Callable, seed: int) -> None:
+    t0 = time.perf_counter()
+    result = fn(seed)
+    elapsed = time.perf_counter() - t0
+    print(result.render())
+    print(f"[{name}: {elapsed:.1f} s]")
+    print()
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate tables/figures of the Coolstreaming "
+                    "measurement study (ICPP 2007).",
+    )
+    parser.add_argument(
+        "experiment",
+        help="one of: %s, ablations, all, list" % ", ".join(EXPERIMENTS),
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="root random seed (default 0)")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        print("ablations")
+        print("all")
+        return 0
+
+    if args.experiment == "all":
+        for name, fn in EXPERIMENTS.items():
+            _run_one(name, fn, args.seed)
+        return 0
+
+    if args.experiment == "ablations":
+        for name, fn in ABLATIONS.items():
+            _run_one(name, lambda seed, f=fn: f(seed=seed), args.seed)
+        return 0
+
+    fn = EXPERIMENTS.get(args.experiment)
+    if fn is None:
+        print(f"unknown experiment {args.experiment!r}; "
+              f"try 'python -m repro list'", file=sys.stderr)
+        return 2
+    _run_one(args.experiment, fn, args.seed)
+    return 0

@@ -1,0 +1,112 @@
+"""Seed replication: error bars for any experiment.
+
+Every figure function is deterministic given a seed; scientific use needs
+replication across seeds.  :func:`replicate` runs an experiment at
+several seeds and aggregates its ``metrics`` into mean / standard
+deviation / extremes, so any benchmark claim ("continuity stays above
+0.9") can be checked for seed-robustness rather than anchored to one
+lucky draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.experiments.render import FigureResult, render_table
+
+__all__ = ["MetricSummary", "ReplicationResult", "replicate"]
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Aggregate of one metric across replicate runs (NaNs excluded)."""
+
+    name: str
+    mean: float
+    std: float
+    min: float
+    max: float
+    n: int
+
+    @classmethod
+    def from_samples(cls, name: str, samples: Sequence[float]) -> "MetricSummary":
+        """Aggregate raw per-seed values; NaNs are dropped (a replicate
+        may legitimately lack a metric, e.g. no continuity samples)."""
+        arr = np.asarray(list(samples), dtype=float)
+        arr = arr[np.isfinite(arr)]
+        if arr.size == 0:
+            return cls(name=name, mean=float("nan"), std=float("nan"),
+                       min=float("nan"), max=float("nan"), n=0)
+        return cls(
+            name=name,
+            mean=float(arr.mean()),
+            std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+            min=float(arr.min()),
+            max=float(arr.max()),
+            n=int(arr.size),
+        )
+
+    @property
+    def spread(self) -> float:
+        """max - min across replicates."""
+        return self.max - self.min
+
+
+@dataclass
+class ReplicationResult:
+    """All metric summaries of a replicated experiment."""
+
+    experiment: str
+    seeds: List[int]
+    summaries: Dict[str, MetricSummary] = field(default_factory=dict)
+
+    def get(self, metric: str) -> MetricSummary:
+        """Summary for one metric (KeyError if the experiment never
+        produced it)."""
+        return self.summaries[metric]
+
+    def render(self) -> str:
+        """ASCII table of mean +/- std (min..max) per metric."""
+        rows = []
+        for name, s in self.summaries.items():
+            rows.append((
+                name, s.n, f"{s.mean:.4g}", f"{s.std:.2g}",
+                f"{s.min:.4g}..{s.max:.4g}",
+            ))
+        header = (f"=== replication: {self.experiment} over seeds "
+                  f"{self.seeds} ===\n")
+        return header + render_table(
+            ("metric", "n", "mean", "std", "range"), rows
+        )
+
+
+def replicate(
+    experiment: Callable[..., FigureResult],
+    *,
+    seeds: Sequence[int] = (0, 1, 2),
+    name: str = "",
+    **kwargs,
+) -> ReplicationResult:
+    """Run ``experiment(seed=s, **kwargs)`` for each seed and aggregate.
+
+    The experiment must accept a ``seed`` keyword and return a
+    :class:`FigureResult` (every function in
+    :mod:`repro.experiments.figures` and the ablations qualify).
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    per_metric: Dict[str, List[float]] = {}
+    for seed in seeds:
+        result = experiment(seed=int(seed), **kwargs)
+        for key, value in result.metrics.items():
+            per_metric.setdefault(key, []).append(float(value))
+    out = ReplicationResult(
+        experiment=name or getattr(experiment, "__name__", "experiment"),
+        seeds=[int(s) for s in seeds],
+    )
+    for key, values in per_metric.items():
+        out.summaries[key] = MetricSummary.from_samples(key, values)
+    return out

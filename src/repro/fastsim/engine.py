@@ -1,0 +1,749 @@
+"""Array-state fluid engine.
+
+One step of length ``dt``:
+
+1. **Arrivals / retries** -- activate peers whose (re-)join time passed.
+2. **Join pipeline** -- joiners sample candidate parents from the
+   reachable pool; once they hold at least one parent they pick the
+   ``m - T_p`` offset and start buffering.
+3. **Rates** -- per-connection demand (1 sub-stream unit when caught up,
+   ``catchup_factor`` when behind); each parent's upload slots are split
+   max-min fairly.  With only two demand tiers the water level has a
+   closed form per parent, so the whole allocation is a handful of
+   ``np.add.at`` scatters -- no per-parent Python loop.
+4. **Heads** -- ``H += rate * dt``, capped by the *previous* step's parent
+   head (one-step lag = per-hop latency; also makes accidental cycles
+   harmless).  Children fallen behind a parent's cache window are
+   fast-forwarded and charged the hole as missed blocks.
+5. **Playback** -- the playout pointer advances 1 block/s per sub-stream;
+   time spent with a head behind the pointer accrues missed blocks
+   (continuity index), in the same continuous form the paper's Eqs. 3-4
+   use.
+6. **Adaptation** -- vectorized Inequality (1)/(2) detection; violators
+   (scalar loop, few per step) re-select parents under the ``T_a``
+   cool-down.
+7. **Departures** -- intended-duration leaves, program endings, patience
+   and stall watchdogs (failed sessions retry with backoff).
+8. **Telemetry** -- activity events immediately, status reports on each
+   peer's 5-minute phase, to a standard :class:`LogServer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import SystemConfig
+from repro.network.capacity import CapacityModel
+from repro.network.connectivity import ConnectivityClass, ConnectivityMix
+from repro.sim.rng import RngHub
+from repro.telemetry.reports import (
+    ActivityEvent,
+    ActivityReport,
+    LeaveReason,
+    PartnerReport,
+    QoSReport,
+    TrafficReport,
+)
+from repro.telemetry.server import LogServer
+
+__all__ = ["FastSimConfig", "FastSimulation"]
+
+# lifecycle states
+_EMPTY, _JOINING, _BUFFERING, _PLAYING, _LEFT = 0, 1, 2, 3, 4
+
+_CONTRIBUTOR = {
+    int(ConnectivityClass.DIRECT),
+    int(ConnectivityClass.UPNP),
+    int(ConnectivityClass.SERVER),
+}
+
+
+@dataclass(frozen=True)
+class FastSimConfig:
+    """Fastsim-specific knobs on top of :class:`SystemConfig`."""
+
+    dt: float = 1.0                 # step length, seconds
+    catchup_factor: float = 16.0    # lagging-connection demand multiplier
+    candidates_per_try: int = 10    # parent candidates sampled per attempt
+    nat_parent_prob: float = 0.35   # chance a NAT/firewall candidate is
+                                    # reachable as a parent (partnerships it
+                                    # initiated earlier); calibrated so the
+                                    # NAT+firewall classes carry roughly the
+                                    # ~20% byte share of Fig. 3b
+    join_overhead_s: float = 1.5    # bootstrap + establishment control time
+    max_children_factor: int = 1    # children cap = max_partners * factor
+
+    def __post_init__(self) -> None:
+        if self.dt <= 0:
+            raise ValueError("dt must be positive")
+        if self.catchup_factor < 1:
+            raise ValueError("catchup_factor must be >= 1")
+        if self.candidates_per_try < 1:
+            raise ValueError("candidates_per_try must be >= 1")
+        if not (0.0 <= self.nat_parent_prob <= 1.0):
+            raise ValueError("nat_parent_prob must be a probability")
+
+
+class FastSimulation:
+    """Vectorized Coolstreaming dynamics for large populations."""
+
+    def __init__(
+        self,
+        cfg: Optional[SystemConfig] = None,
+        fast: Optional[FastSimConfig] = None,
+        *,
+        seed: int = 0,
+        capacity_model: Optional[CapacityModel] = None,
+        connectivity_mix: Optional[ConnectivityMix] = None,
+        capacity_hint: int = 4096,
+    ) -> None:
+        self.cfg = cfg or SystemConfig()
+        self.fast = fast or FastSimConfig()
+        self.rng = RngHub(seed)
+        self._rng = self.rng.stream("fastsim")
+        self.capacity_model = capacity_model or CapacityModel()
+        self.mix = connectivity_mix or ConnectivityMix()
+        self.log = LogServer()
+        self.now = 0.0
+        self.steps_run = 0
+
+        k = self.cfg.n_substreams
+        n0 = max(64, int(capacity_hint))
+        self._cap = n0
+        self.k = k
+
+        # --- per-slot arrays (slot 0..n_servers are infrastructure) -------
+        self.state = np.full(n0, _EMPTY, dtype=np.int8)
+        self.cls = np.zeros(n0, dtype=np.int8)
+        self.upload_slots = np.zeros(n0, dtype=np.float64)
+        self.H = np.full((n0, k), -1.0, dtype=np.float64)
+        self.parent = np.full((n0, k), -1, dtype=np.int64)
+        self.q = np.zeros(n0, dtype=np.float64)            # playout pointer
+        self.start_idx = np.zeros(n0, dtype=np.float64)
+        self.joined_at = np.zeros(n0, dtype=np.float64)
+        self.ready_at = np.full(n0, np.nan, dtype=np.float64)
+        self.depart_at = np.full(n0, np.inf, dtype=np.float64)
+        self.user_id = np.full(n0, -1, dtype=np.int64)
+        self.session_id = np.full(n0, -1, dtype=np.int64)
+        self.attempt = np.zeros(n0, dtype=np.int32)
+        self.children = np.zeros(n0, dtype=np.int64)       # sub-stream degree
+        self.cool_until = np.zeros(n0, dtype=np.float64)
+        self.due = np.zeros(n0, dtype=np.float64)          # lifetime blocks due
+        self.missed = np.zeros(n0, dtype=np.float64)
+        self.win_due = np.zeros(n0, dtype=np.float64)      # 5-min report window
+        self.win_missed = np.zeros(n0, dtype=np.float64)
+        self.watch_due = np.zeros(n0, dtype=np.float64)    # stall watchdog
+        self.watch_missed = np.zeros(n0, dtype=np.float64)
+        self.bits_up = np.zeros(n0, dtype=np.float64)
+        self.bits_down = np.zeros(n0, dtype=np.float64)
+        self.bits_up_rep = np.zeros(n0, dtype=np.float64)
+        self.bits_down_rep = np.zeros(n0, dtype=np.float64)
+        self.report_phase = np.zeros(n0, dtype=np.float64)
+        self.ever_incoming = np.zeros(n0, dtype=bool)
+        self.public_addr = np.zeros(n0, dtype=bool)
+        self.next_watch = np.zeros(n0, dtype=np.float64)
+        self.is_contrib = np.zeros(n0, dtype=bool)   # contributor-class slot
+        self.next_try = np.zeros(n0, dtype=np.float64)  # selection back-off
+
+        self._free: List[int] = []
+        self._next_session = 1
+        self.sessions_spawned = 0
+
+        # pending (re-)joins: (time, user_id, attempt, intended_depart)
+        self._pending_joins: List[Tuple[float, int, int, float]] = []
+        self._program_endings: List[Tuple[float, float]] = []
+        self._retries_by_user: Dict[int, int] = {}
+        self._user_deadline: Dict[int, float] = {}
+
+        # --- infrastructure slots --------------------------------------------
+        self.n_servers = self.cfg.n_servers
+        self._setup_servers()
+
+    # ------------------------------------------------------------------
+    # setup helpers
+    # ------------------------------------------------------------------
+    def _setup_servers(self) -> None:
+        cfg = self.cfg
+        for i in range(self.n_servers):
+            slot = i  # 0..n_servers-1 reserved
+            self.state[slot] = _PLAYING
+            self.cls[slot] = int(ConnectivityClass.SERVER)
+            self.upload_slots[slot] = cfg.upload_slots(cfg.server_upload_bps)
+            self.H[slot, :] = 0.0
+            self.depart_at[slot] = np.inf
+            self.public_addr[slot] = True
+            self.is_contrib[slot] = True
+        self._user_base = self.n_servers
+
+    def _grow(self) -> None:
+        new_cap = self._cap * 2
+        for name in (
+            "state", "cls", "upload_slots", "q", "start_idx", "joined_at",
+            "ready_at", "depart_at", "user_id", "session_id", "attempt",
+            "children", "cool_until", "due", "missed", "win_due",
+            "win_missed", "watch_due", "watch_missed", "bits_up",
+            "bits_down", "bits_up_rep", "bits_down_rep", "report_phase",
+            "ever_incoming", "public_addr", "next_watch", "is_contrib",
+            "next_try",
+        ):
+            old = getattr(self, name)
+            grown = np.zeros(new_cap, dtype=old.dtype)
+            if name == "depart_at":
+                grown[:] = np.inf
+            elif name == "ready_at":
+                grown[:] = np.nan
+            elif name in ("user_id", "session_id"):
+                grown[:] = -1
+            grown[: self._cap] = old
+            setattr(self, name, grown)
+        H = np.full((new_cap, self.k), -1.0)
+        H[: self._cap] = self.H
+        self.H = H
+        parent = np.full((new_cap, self.k), -1, dtype=np.int64)
+        parent[: self._cap] = self.parent
+        self.parent = parent
+        self._cap = new_cap
+
+    def _alloc_slot(self) -> int:
+        if self._free:
+            return self._free.pop()
+        # linear scan for first EMPTY beyond servers; grow when exhausted
+        empties = np.nonzero(self.state[self.n_servers:] == _EMPTY)[0]
+        if empties.size == 0:
+            self._grow()
+            empties = np.nonzero(self.state[self.n_servers:] == _EMPTY)[0]
+        return int(empties[0]) + self.n_servers
+
+    # ------------------------------------------------------------------
+    # workload API
+    # ------------------------------------------------------------------
+    def add_arrivals(
+        self,
+        arrival_times: np.ndarray,
+        intended_durations: np.ndarray,
+        *,
+        user_id_base: int = 0,
+    ) -> None:
+        """Register a batch of users (their first join attempts)."""
+        times = np.asarray(arrival_times, dtype=float)
+        durs = np.asarray(intended_durations, dtype=float)
+        if times.shape != durs.shape:
+            raise ValueError("arrival_times and intended_durations must align")
+        for i, (t, d) in enumerate(zip(times, durs)):
+            self._pending_joins.append(
+                (float(t), user_id_base + i, 1, float(t + d))
+            )
+        self._pending_joins.sort(key=lambda x: x[0], reverse=True)  # pop() order
+
+    def add_program_ending(self, time_s: float, leave_probability: float) -> None:
+        """Schedule a program-end departure wave."""
+        self._program_endings.append((float(time_s), float(leave_probability)))
+        self._program_endings.sort(reverse=True)
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def _activity(self, slot: int, event: ActivityEvent,
+                  reason: Optional[LeaveReason] = None) -> None:
+        self.log.receive_report(self.now, ActivityReport(
+            time=self.now, node_id=int(slot) + 100_000,
+            user_id=int(self.user_id[slot]),
+            session_id=int(self.session_id[slot]),
+            event=event, attempt=int(self.attempt[slot]),
+            address_public=bool(self.public_addr[slot]), reason=reason,
+        ))
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, user_id: int, attempt: int, depart_at: float) -> int:
+        slot = self._alloc_slot()
+        rng = self._rng
+        cls = self.mix.sample(rng)
+        up = self.capacity_model.sample_upload(cls, rng)
+        self.state[slot] = _JOINING
+        self.cls[slot] = int(cls)
+        self.upload_slots[slot] = self.cfg.upload_slots(up)
+        self.H[slot, :] = -1.0
+        self.parent[slot, :] = -1
+        self.q[slot] = 0.0
+        self.start_idx[slot] = 0.0
+        self.joined_at[slot] = self.now
+        self.ready_at[slot] = np.nan
+        self.depart_at[slot] = depart_at
+        self.user_id[slot] = user_id
+        self.session_id[slot] = self._next_session
+        self.attempt[slot] = attempt
+        self.children[slot] = 0
+        self.cool_until[slot] = 0.0
+        for arr in (self.due, self.missed, self.win_due, self.win_missed,
+                    self.watch_due, self.watch_missed, self.bits_up,
+                    self.bits_down, self.bits_up_rep, self.bits_down_rep):
+            arr[slot] = 0.0
+        self.report_phase[slot] = float(rng.uniform(0, self.cfg.status_report_period_s))
+        self.ever_incoming[slot] = False
+        self.public_addr[slot] = cls in (
+            ConnectivityClass.DIRECT, ConnectivityClass.FIREWALL
+        )
+        self.next_watch[slot] = self.now + self.cfg.stall_window_s
+        self.is_contrib[slot] = int(cls) in _CONTRIBUTOR
+        self.next_try[slot] = 0.0
+        self._next_session += 1
+        self.sessions_spawned += 1
+        self._activity(slot, ActivityEvent.JOIN)
+        return slot
+
+    def _leave(self, slot: int, reason: LeaveReason, *, silent: bool = False,
+               retry: bool = True) -> None:
+        if self.state[slot] in (_EMPTY, _LEFT):
+            return
+        # release our own subscriptions (parents regain child capacity)
+        for sub in range(self.k):
+            p = self.parent[slot, sub]
+            if p >= 0:
+                self.children[p] -= 1
+        # orphan the children: their parent pointer dies; adaptation deals
+        child_mask = self.parent == slot
+        self.parent[child_mask] = -1
+        self.children[slot] = 0
+        uid = int(self.user_id[slot])
+        att = int(self.attempt[slot])
+        if not silent:
+            self._activity(slot, ActivityEvent.LEAVE, reason)
+        self.state[slot] = _EMPTY
+        self.parent[slot, :] = -1
+        self.depart_at[slot] = np.inf
+        self._free.append(slot)
+        if retry and reason in (LeaveReason.IMPATIENCE, LeaveReason.FAILURE):
+            retries = self._retries_by_user.get(uid, 0)
+            if att <= self.cfg.max_join_retries:
+                self._retries_by_user[uid] = retries + 1
+                backoff = self.cfg.retry_backoff_s * (0.5 + self._rng.random())
+                # keep the user's original departure deadline
+                self._pending_joins.append(
+                    (self.now + backoff, uid, att + 1, float("nan"))
+                )
+                self._pending_joins.sort(key=lambda x: x[0], reverse=True)
+
+    # ------------------------------------------------------------------
+    # parent selection
+    # ------------------------------------------------------------------
+    def _candidate_pool(self) -> np.ndarray:
+        """Slots usable as parents this step."""
+        return np.nonzero(
+            ((self.state == _PLAYING) | (self.state == _BUFFERING))
+        )[0]
+
+    def _sample_candidates(self, slot: int, pool: np.ndarray) -> np.ndarray:
+        """Sample reachable, non-full candidate parents (the joiner's
+        effective partner set for this attempt)."""
+        if pool.size == 0:
+            return pool
+        fast = self.fast
+        cfg = self.cfg
+        rng = self._rng
+        n_cand = min(fast.candidates_per_try, pool.size)
+        cand = pool[rng.integers(0, pool.size, size=n_cand)]
+        # reachability: contributor classes always; NAT/firewall rarely
+        reach = self.is_contrib[cand] | (rng.random(cand.size) < fast.nat_parent_prob)
+        # capacity gate: parents at their children cap reject (M partners)
+        max_children = cfg.max_partners * self.k * fast.max_children_factor
+        server_cap = cfg.server_max_partners * self.k
+        caps = np.where(
+            self.cls[cand] == int(ConnectivityClass.SERVER), server_cap, max_children
+        )
+        ok = reach & (self.children[cand] < caps) & (cand != slot)
+        return cand[ok]
+
+    def _try_select_parents(self, slot: int, substreams: List[int],
+                            pool: np.ndarray,
+                            cand: Optional[np.ndarray] = None) -> int:
+        """Fill the given sub-stream slots from sampled candidates; returns
+        how many were filled."""
+        cfg = self.cfg
+        rng = self._rng
+        if cand is None:
+            cand = self._sample_candidates(slot, pool)
+        if cand.size == 0:
+            return 0
+        # Inequality (2) as a selection filter: a qualified parent's head on
+        # the sub-stream must be within T_p of the best head among the
+        # candidate (partner) set -- this is what keeps starved peers from
+        # being chosen as parents even though capacity itself is ignored
+        best_head = float(self.H[cand, :].max())
+        filled = 0
+        for sub in substreams:
+            need = self.H[slot, sub]  # next block needed - 1
+            # candidate must be at least as advanced and still hold our block
+            heads = self.H[cand, sub]
+            window_ok = (
+                (heads >= need)
+                & (need + 1.0 >= heads - cfg.buffer_seconds + 1.0)
+                & (best_head - heads < cfg.tp_seconds)
+            )
+            avail = cand[window_ok]
+            if avail.size == 0:
+                continue
+            choice = int(avail[rng.integers(avail.size)])
+            old = self.parent[slot, sub]
+            if old >= 0:
+                self.children[old] -= 1
+            self.parent[slot, sub] = choice
+            self.children[choice] += 1
+            # classifier signal: a contributor-class parent got this child
+            # through an *incoming* partnership (the child initiated); a
+            # NAT/firewall parent could only be reached over a partnership
+            # it initiated itself, so it earns no incoming credit
+            if int(self.cls[choice]) in _CONTRIBUTOR:
+                self.ever_incoming[choice] = True
+            filled += 1
+        return filled
+
+    # ------------------------------------------------------------------
+    # the step
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the simulation by one time step."""
+        dt = self.fast.dt
+        cfg = self.cfg
+        k = self.k
+        now = self.now
+        rng = self._rng
+
+        # 1. arrivals / retries -------------------------------------------------
+        while self._pending_joins and self._pending_joins[-1][0] <= now:
+            t, uid, att, depart = self._pending_joins.pop()
+            if np.isnan(depart):
+                # retry: recover the user's deadline from bookkeeping -- the
+                # user watches until its original deadline; approximate with
+                # a fresh draw is wrong, so store deadlines per user
+                depart = self._user_deadline.get(uid, now + 600.0)
+            else:
+                self._user_deadline[uid] = depart
+            if depart <= now:
+                continue  # watch window already over
+            self._spawn(uid, att, depart)
+
+        # 2. join pipeline -----------------------------------------------------
+        joining = np.nonzero(self.state == _JOINING)[0]
+        pool = self._candidate_pool()
+        if joining.size:
+            for slot in joining:
+                if now - self.joined_at[slot] < self.fast.join_overhead_s:
+                    continue
+                if now < self.next_try[slot]:
+                    continue
+                cand = self._sample_candidates(slot, pool)
+                if cand.size == 0:
+                    self.next_try[slot] = now + cfg.bm_exchange_period_s
+                    continue
+                if self.H[slot, 0] < 0:
+                    # Section IV.A: offset = (max head among partners) - T_p;
+                    # the effective partner set is this attempt's candidates
+                    m = float(self.H[cand, :].max())
+                    if m < 0:
+                        continue
+                    start = max(0.0, m - cfg.tp_seconds)
+                    self.H[slot, :] = start - 1.0
+                    self.start_idx[slot] = start
+                    self.q[slot] = start
+                missing = [s for s in range(k) if self.parent[slot, s] < 0]
+                got = self._try_select_parents(slot, missing, pool, cand=cand)
+                if got and self.state[slot] == _JOINING:
+                    self.state[slot] = _BUFFERING
+                    self._activity(slot, ActivityEvent.START_SUBSCRIPTION)
+                if got < len(missing):
+                    self.next_try[slot] = now + cfg.bm_exchange_period_s
+
+        # 3. rates ------------------------------------------------------------------
+        active = (self.state == _BUFFERING) | (self.state == _PLAYING)
+        conn = self.parent >= 0  # (N, K) live connections
+        conn &= active[:, None]
+        if conn.any():
+            rows, cols = conn.nonzero()
+            pidx = self.parent[rows, cols]
+            lag = self.H[pidx, cols] - self.H[rows, cols]
+            c = self.fast.catchup_factor
+            is_catchup = lag > 0.5
+            # max-min fair share with two demand tiers (1 and c) has a
+            # closed form per parent: water level L solves
+            #   sum min(demand_i, L) = capacity
+            n1 = np.zeros(self._cap)
+            nc = np.zeros(self._cap)
+            np.add.at(n1, pidx[~is_catchup], 1.0)
+            np.add.at(nc, pidx[is_catchup], 1.0)
+            cap_p = self.upload_slots
+            n_tot = n1 + nc
+            with np.errstate(divide="ignore", invalid="ignore"):
+                # tier 1: everyone below demand 1 -> L = cap / n_tot
+                level_low = np.where(n_tot > 0, cap_p / n_tot, 0.0)
+                # tier 2: demand-1 conns saturated -> L = (cap - n1) / nc
+                level_high = np.where(nc > 0, (cap_p - n1) / nc, np.inf)
+            level = np.where(level_low <= 1.0, level_low, np.minimum(level_high, c))
+            conn_level = level[pidx]
+            rate_flat = np.where(is_catchup, np.minimum(conn_level, c),
+                                 np.minimum(conn_level, 1.0))
+            rate = np.zeros_like(self.H)
+            rate[rows, cols] = np.maximum(0.0, rate_flat)
+        else:
+            rate = np.zeros_like(self.H)
+
+        # 4. advance heads ------------------------------------------------------------
+        H_prev = self.H.copy()
+        if conn.any():
+            rows, cols = conn.nonzero()
+            pidx = self.parent[rows, cols]
+            target_cap = H_prev[pidx, cols]          # one-step-lagged parent head
+            floor = target_cap - cfg.buffer_seconds + 1.0  # cache window
+            newH = self.H[rows, cols] + rate[rows, cols] * dt
+            newH = np.minimum(newH, target_cap)
+            # fast-forward over evicted blocks; charge the hole as missed,
+            # but only the part the playout pointer has not already charged
+            jumped = np.maximum(0.0, floor - np.maximum(newH, self.q[rows]))
+            np.add.at(self.missed, rows, jumped)
+            np.add.at(self.win_missed, rows, jumped)
+            np.add.at(self.watch_missed, rows, jumped)
+            newH = np.maximum(newH, floor)
+            # account downloaded bits / uploaded bits
+            delivered = np.maximum(0.0, newH - self.H[rows, cols])
+            np.add.at(self.bits_down, rows, delivered * cfg.block_bits)
+            np.add.at(self.bits_up, pidx, delivered * cfg.block_bits)
+            self.H[rows, cols] = newH
+        # servers track the live edge directly (fed by the source off-model)
+        edge = max(0.0, (now + dt) - 1.0)
+        self.H[: self.n_servers, :] = edge
+
+        # 5. playback -----------------------------------------------------------------
+        playing = self.state == _PLAYING
+        if playing.any():
+            rows = np.nonzero(playing)[0]
+            q_prev = self.q[rows]
+            q_new = q_prev + dt
+            self.q[rows] = q_new
+            # per sub-stream: time in (q_prev, q_new] not covered by the head
+            heads = self.H[rows, :]
+            miss = np.clip(
+                q_new[:, None] - np.maximum(heads, q_prev[:, None]), 0.0, dt
+            ).sum(axis=1)
+            due = dt * k
+            self.due[rows] += due
+            self.missed[rows] += miss
+            self.win_due[rows] += due
+            self.win_missed[rows] += miss
+            self.watch_due[rows] += due
+            self.watch_missed[rows] += miss
+
+        # 6. ready check --------------------------------------------------------------
+        buffering = np.nonzero(self.state == _BUFFERING)[0]
+        if buffering.size:
+            combined = self.H[buffering, :].min(axis=1) + 1.0
+            ready = combined - self.start_idx[buffering] >= cfg.player_buffer_s
+            for slot in buffering[ready]:
+                self.state[slot] = _PLAYING
+                self.ready_at[slot] = now
+                self.q[slot] = self.start_idx[slot]
+                self._activity(slot, ActivityEvent.PLAYER_READY)
+
+        # 7. adaptation ---------------------------------------------------------------
+        act = np.nonzero(active)[0]
+        if act.size:
+            heads = self.H[act, :]
+            best = heads.max(axis=1, keepdims=True)
+            lag_bad = (best - heads) >= cfg.ts_seconds          # Inequality (1)
+            parent_dead = np.zeros_like(lag_bad)
+            par = self.parent[act, :]
+            has_parent = par >= 0
+            pstate = np.where(has_parent, self.state[np.maximum(par, 0)], _EMPTY)
+            parent_dead = has_parent & ~(
+                (pstate == _PLAYING) | (pstate == _BUFFERING)
+            )
+            # Inequality (2): parent head lags the best head among the
+            # node's partners.  A node's partner set is a random sample of
+            # the population, so its best head is statistically close to an
+            # upper quantile of the population's heads; we use that quantile
+            # (plus the node's own local view) as the vectorizable stand-in
+            # for "best partner head".  Without the population term, whole
+            # sub-trees under an oversubscribed parent would drift behind
+            # uniformly and never trigger adaptation -- which the real
+            # protocol's BM exchange does not allow.
+            phead = np.where(
+                has_parent,
+                self.H[np.maximum(par, 0), np.arange(self.k)[None, :]],
+                -np.inf,
+            )
+            peer_rows = act[act >= self.n_servers]
+            if peer_rows.size >= 4:
+                population_ref = float(
+                    np.percentile(self.H[peer_rows, :].max(axis=1), 75.0)
+                )
+            else:
+                population_ref = -np.inf
+            local_best = np.maximum(phead.max(axis=1), heads.max(axis=1))
+            local_best = np.maximum(local_best, population_ref)
+            ineq2_bad = (local_best[:, None] - phead) >= cfg.tp_seconds
+            ineq2_bad &= has_parent
+            need_fix = (lag_bad & has_parent) | parent_dead | ineq2_bad | ~has_parent
+            rows_fix = np.nonzero(need_fix.any(axis=1))[0]
+            if rows_fix.size:
+                for r in rows_fix:
+                    slot = int(act[r])
+                    forced = bool((parent_dead[r] | ~has_parent[r]).any())
+                    if not forced and now < self.cool_until[slot]:
+                        continue
+                    if forced and now < self.next_try[slot]:
+                        continue
+                    subs = np.nonzero(need_fix[r])[0]
+                    if not forced:
+                        # voluntary adaptation: one sub-stream per cool-down
+                        worst = subs[np.argmax((best[r, 0] - heads[r, subs]))]
+                        subs = np.array([worst])
+                        self.cool_until[slot] = now + cfg.ta_seconds
+                    # release dead parents before re-selecting
+                    for sub in subs:
+                        p = self.parent[slot, sub]
+                        if p >= 0:
+                            self.children[p] -= 1
+                            self.parent[slot, sub] = -1
+                    got = self._try_select_parents(slot, [int(s) for s in subs], pool)
+                    if got < len(subs):
+                        self.next_try[slot] = now + cfg.bm_exchange_period_s
+
+        # 8. departures ----------------------------------------------------------------
+        active_or_joining = self.state != _EMPTY
+        active_or_joining[: self.n_servers] = False
+        # scheduled departures
+        due_leave = np.nonzero(active_or_joining & (self.depart_at <= now))[0]
+        for slot in due_leave:
+            silent = bool(rng.random() < 0.1)
+            self._leave(slot, LeaveReason.NORMAL, silent=silent, retry=False)
+        # program endings
+        while self._program_endings and self._program_endings[-1][0] <= now:
+            _t, prob = self._program_endings.pop()
+            watchers = np.nonzero(
+                (self.state == _PLAYING) | (self.state == _BUFFERING)
+            )[0]
+            watchers = watchers[watchers >= self.n_servers]
+            for slot in watchers:
+                if rng.random() < prob:
+                    self._user_deadline[int(self.user_id[slot])] = now
+                    self._leave(slot, LeaveReason.PROGRAM_END, retry=False)
+        # patience
+        waiting = (self.state == _JOINING) | (self.state == _BUFFERING)
+        waiting[: self.n_servers] = False
+        impatient = np.nonzero(
+            waiting & (now - self.joined_at > cfg.join_patience_s)
+        )[0]
+        for slot in impatient:
+            self._leave(slot, LeaveReason.IMPATIENCE)
+        # stall watchdog
+        players = np.nonzero(self.state == _PLAYING)[0]
+        players = players[players >= self.n_servers]
+        if players.size:
+            check = players[self.next_watch[players] <= now]
+            for slot in check:
+                self.next_watch[slot] = now + cfg.stall_window_s
+                if self.watch_due[slot] > 0:
+                    cont = 1.0 - self.watch_missed[slot] / self.watch_due[slot]
+                    if cont < cfg.stall_exit_continuity:
+                        self._leave(slot, LeaveReason.FAILURE)
+                self.watch_due[slot] = 0.0
+                self.watch_missed[slot] = 0.0
+
+        # 9. status reports ---------------------------------------------------------------
+        period = cfg.status_report_period_s
+        alive = np.nonzero(active_or_joining & (self.state != _EMPTY))[0]
+        if alive.size:
+            fires = alive[
+                (np.floor((now - self.joined_at[alive] + self.report_phase[alive]) / period)
+                 > np.floor((now - dt - self.joined_at[alive] + self.report_phase[alive]) / period))
+                & (now - self.joined_at[alive] >= dt)
+            ]
+            for slot in fires:
+                self._send_status(int(slot))
+
+        self.now = now + dt
+        self.steps_run += 1
+
+    def _send_status(self, slot: int) -> None:
+        cfg = self.cfg
+        header = dict(
+            time=self.now, node_id=slot + 100_000,
+            user_id=int(self.user_id[slot]),
+            session_id=int(self.session_id[slot]),
+        )
+        cont = None
+        if self.win_due[slot] > 0:
+            cont = float(1.0 - self.win_missed[slot] / self.win_due[slot])
+            cont = max(0.0, min(1.0, cont))
+        self.log.receive_report(self.now, QoSReport(
+            **header, continuity=cont,
+            buffered_seconds=float(self.H[slot].min() + 1.0 - self.q[slot]),
+            n_parents=int((self.parent[slot] >= 0).sum()),
+            playing=bool(self.state[slot] == _PLAYING),
+        ))
+        self.win_due[slot] = 0.0
+        self.win_missed[slot] = 0.0
+        self.log.receive_report(self.now, TrafficReport(
+            **header,
+            bytes_up=float(self.bits_up[slot] - self.bits_up_rep[slot]) / 8.0,
+            bytes_down=float(self.bits_down[slot] - self.bits_down_rep[slot]) / 8.0,
+            total_up=float(self.bits_up[slot]) / 8.0,
+            total_down=float(self.bits_down[slot]) / 8.0,
+        ))
+        self.bits_up_rep[slot] = self.bits_up[slot]
+        self.bits_down_rep[slot] = self.bits_down[slot]
+        # partner report: fastsim tracks direction via ever_incoming (set
+        # when a contributor-class node accepts a child's partnership)
+        n_in = 1 if self.ever_incoming[slot] else 0
+        self.log.receive_report(self.now, PartnerReport(
+            **header, events=(),
+            n_partners=int((self.parent[slot] >= 0).sum()) + int(self.children[slot] > 0),
+            n_incoming=n_in,
+            n_outgoing=int((self.parent[slot] >= 0).sum()),
+        ))
+
+    # ------------------------------------------------------------------
+    def run(self, until: float) -> None:
+        """Step until ``self.now >= until``."""
+        while self.now < until:
+            self.step()
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    @property
+    def concurrent_users(self) -> int:
+        """Alive user peers right now."""
+        mask = self.state != _EMPTY
+        mask[: self.n_servers] = False
+        return int(mask.sum())
+
+    @property
+    def playing_users(self) -> int:
+        """User peers currently in the PLAYING state."""
+        mask = self.state == _PLAYING
+        mask[: self.n_servers] = False
+        return int(mask.sum())
+
+    def mean_continuity(self) -> float:
+        """Mean lifetime continuity over playing peers."""
+        mask = (self.state == _PLAYING) & (self.due > 0)
+        mask[: self.n_servers] = False
+        if not mask.any():
+            return float("nan")
+        return float((1.0 - self.missed[mask] / self.due[mask]).mean())
+
+    def retry_histogram(self) -> Dict[int, int]:
+        """retries -> user count, from the retry bookkeeping."""
+        hist: Dict[int, int] = {}
+        seen_users = set()
+        for uid, retries in self._retries_by_user.items():
+            hist[retries] = hist.get(retries, 0) + 1
+            seen_users.add(uid)
+        zero = len(self._user_deadline) - len(seen_users)
+        if zero > 0:
+            hist[0] = hist.get(0, 0) + zero
+        return hist

@@ -1,0 +1,28 @@
+"""Analytical models from the paper.
+
+* :mod:`repro.model.dynamics` -- the closed forms of Section IV.C:
+  catch-up time (Eq. 3), abandon time (Eq. 4), the degraded rate under
+  competition (Eq. 5) and the competition-loss probability (Eq. 6).
+* :mod:`repro.model.convergence` -- the "simple topology model" of the
+  contributions list: a Markov chain over parent classes showing that
+  random partner selection converges peers under stable
+  direct-connect/UPnP parents.
+"""
+
+from repro.model.dynamics import (
+    abandon_time,
+    catchup_time,
+    competition_loss_probability,
+    degraded_rate,
+    loss_time,
+)
+from repro.model.convergence import ConvergenceModel
+
+__all__ = [
+    "catchup_time",
+    "abandon_time",
+    "degraded_rate",
+    "loss_time",
+    "competition_loss_probability",
+    "ConvergenceModel",
+]

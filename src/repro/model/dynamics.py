@@ -1,0 +1,126 @@
+"""Closed-form adaptation dynamics (Section IV.C, Eqs. 3-6).
+
+All rates are in consistent units (we use blocks/second, where the nominal
+sub-stream rate ``R/K`` is 1 block/s in the engine's normalization, but
+the formulas are unit-agnostic) and ``l`` (ell) counts missing blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+__all__ = [
+    "catchup_time",
+    "abandon_time",
+    "degraded_rate",
+    "loss_time",
+    "competition_loss_probability",
+]
+
+
+def catchup_time(l_blocks: float, r_up: float, substream_rate: float) -> float:
+    """Eq. (3): time for a child to close an ``l``-block deficit.
+
+    With the parent pushing at ``r_up > R/K`` while the stream advances at
+    ``R/K``::
+
+        t_up = l / (r_up - R/K)
+
+    Raises when ``r_up <= R/K`` -- the child never catches up.
+    """
+    if l_blocks < 0:
+        raise ValueError("deficit must be non-negative")
+    if r_up <= substream_rate:
+        raise ValueError(
+            f"catch-up requires r_up > R/K (got {r_up} <= {substream_rate})"
+        )
+    return l_blocks / (r_up - substream_rate)
+
+
+def abandon_time(l_blocks: float, r_down: float, substream_rate: float) -> float:
+    """Eq. (4): time until a child abandons a degraded parent.
+
+    With the parent delivering only ``r_down < R/K``, the sub-stream falls
+    behind by ``T_s`` after::
+
+        t_down = l / (R/K - r_down)
+
+    where ``l`` here is the remaining slack (``T_s`` minus the current
+    deviation, in blocks).
+    """
+    if l_blocks < 0:
+        raise ValueError("slack must be non-negative")
+    if r_down >= substream_rate:
+        raise ValueError(
+            f"abandonment requires r_down < R/K (got {r_down} >= {substream_rate})"
+        )
+    return l_blocks / (substream_rate - r_down)
+
+
+def degraded_rate(d_p: int, substream_rate: float) -> float:
+    """Eq. (5): per-connection rate after one extra child joins a parent
+    that was exactly satisfying ``D_p`` sub-stream connections::
+
+        r_down = D_p / (D_p + 1) * R/K
+    """
+    if d_p < 1:
+        raise ValueError("D_p must be >= 1")
+    return d_p / (d_p + 1.0) * substream_rate
+
+
+def loss_time(
+    d_p: int, ts_blocks: float, t_delta_blocks: float, substream_rate: float
+) -> float:
+    """Time for a child to lose the competition (the ``t_lose`` derivation):
+
+        t_lose = (D_p + 1) * (T_s - t_delta) / (R/K)
+
+    ``t_delta`` is the child's deviation at the start of the competition.
+    """
+    if d_p < 1:
+        raise ValueError("D_p must be >= 1")
+    if t_delta_blocks > ts_blocks:
+        raise ValueError("initial deviation already beyond T_s")
+    return (d_p + 1.0) * (ts_blocks - t_delta_blocks) / substream_rate
+
+
+def competition_loss_probability(
+    d_p: int,
+    ts_blocks: float,
+    ta_seconds: float,
+    substream_rate: float,
+    t_delta_cdf: Optional[Callable[[float], float]] = None,
+    t_delta_samples: Optional[np.ndarray] = None,
+) -> float:
+    """Eq. (6): probability that a child loses the competition within the
+    cool-down period ``T_a``::
+
+        P(t_lose <= T_a) = P(t_delta >= T_s - T_a * (R/K) / (D_p + 1))
+
+    The distribution of the initial deviation ``t_delta`` is supplied
+    either as a CDF callable or as empirical samples.  Larger ``D_p``
+    shrinks the right side's subtrahend more slowly -- i.e. high-degree
+    (contributor-class) parents make their children *less* likely to lose,
+    the mechanism behind the Fig. 4 clogging.
+    """
+    if d_p < 1:
+        raise ValueError("D_p must be >= 1")
+    if ta_seconds < 0:
+        raise ValueError("T_a must be non-negative")
+    threshold = ts_blocks - ta_seconds * substream_rate / (d_p + 1.0)
+    if t_delta_cdf is not None:
+        return max(0.0, min(1.0, 1.0 - t_delta_cdf(threshold)))
+    if t_delta_samples is not None:
+        samples = np.asarray(t_delta_samples, dtype=float)
+        if samples.size == 0:
+            raise ValueError("empty t_delta sample set")
+        return float((samples >= threshold).mean())
+    # default: t_delta ~ Uniform[0, T_s], the maximum-entropy choice on the
+    # feasible interval
+    if threshold <= 0:
+        return 1.0
+    if threshold >= ts_blocks:
+        return 0.0
+    return 1.0 - threshold / ts_blocks

@@ -1,0 +1,128 @@
+"""Max-min fair division of a parent's upload among child connections.
+
+Section IV.C models the degradation of per-sub-stream rate when a parent is
+oversubscribed: with ``D_p`` children each nominally needing ``R/K``, an
+extra child drives each connection down to ``r_down = D_p/(D_p+1) * R/K``
+(Eq. 5).  That formula is the equal-split special case; in general children
+differ -- a caught-up child only *consumes* the live rate ``R/K`` while a
+catching-up child can absorb any surplus (Eq. 3's ``r_up``).
+
+We therefore allocate by progressive filling (water-filling): capacity is
+poured equally into all unsaturated demands; a demand that reaches its cap
+is frozen and the remainder is re-poured among the rest.  This is the
+classic max-min fair allocation and reduces exactly to Eq. 5 when all
+demands exceed the fair share.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["waterfill", "FairShareAllocator"]
+
+
+def waterfill(capacity: float, demands: Sequence[float]) -> np.ndarray:
+    """Max-min fair allocation of ``capacity`` over ``demands``.
+
+    Parameters
+    ----------
+    capacity:
+        Total resource to divide (e.g. parent upload, bps).  Must be >= 0.
+    demands:
+        Per-connection maximum useful rate.  ``inf`` is allowed (a
+        catching-up child absorbs anything).
+
+    Returns
+    -------
+    numpy.ndarray
+        Allocation with ``0 <= alloc[i] <= demands[i]`` and
+        ``sum(alloc) == min(capacity, sum(demands))`` (up to float error).
+
+    Notes
+    -----
+    Runs in O(n log n) by sorting demands once, following the standard
+    progressive-filling recurrence rather than a loop of passes.
+    """
+    d = np.asarray(demands, dtype=float)
+    if d.ndim != 1:
+        raise ValueError("demands must be one-dimensional")
+    if capacity < 0:
+        raise ValueError(f"capacity must be non-negative (got {capacity})")
+    if (d < 0).any():
+        raise ValueError("demands must be non-negative")
+    n = d.size
+    if n == 0:
+        return np.zeros(0)
+    alloc = np.empty(n, dtype=float)
+    order = np.argsort(d)
+    remaining = float(capacity)
+    active = n
+    for k, idx in enumerate(order):
+        fair = remaining / active
+        give = min(d[idx], fair)
+        alloc[idx] = give
+        remaining -= give
+        active -= 1
+    return alloc
+
+
+class FairShareAllocator:
+    """Stateful wrapper used by the reference engine.
+
+    Tracks, per parent, the set of child connections and their demands, and
+    recomputes allocations only when membership or demands change -- rate
+    recomputation is the hot path during flash crowds.
+    """
+
+    def __init__(self, capacity: float) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self._capacity = float(capacity)
+        self._demands: dict[object, float] = {}
+        self._alloc: dict[object, float] = {}
+        self._dirty = False
+
+    @property
+    def capacity(self) -> float:
+        """Maximum entries held."""
+        return self._capacity
+
+    @property
+    def n_connections(self) -> int:
+        """Number of tracked connections."""
+        return len(self._demands)
+
+    def set_demand(self, key: object, demand: float) -> None:
+        """Add or update a connection's demand."""
+        if demand < 0:
+            raise ValueError("demand must be non-negative")
+        if self._demands.get(key) != demand:
+            self._demands[key] = float(demand)
+            self._dirty = True
+
+    def remove(self, key: object) -> None:
+        """Drop a connection.  Missing keys are ignored (idempotent teardown)."""
+        if self._demands.pop(key, None) is not None:
+            self._alloc.pop(key, None)
+            self._dirty = True
+
+    def allocation(self, key: object) -> float:
+        """Current fair-share rate for ``key`` (0 if unknown)."""
+        self._recompute()
+        return self._alloc.get(key, 0.0)
+
+    def allocations(self) -> dict[object, float]:
+        """Snapshot of all current allocations."""
+        self._recompute()
+        return dict(self._alloc)
+
+    def _recompute(self) -> None:
+        if not self._dirty:
+            return
+        keys = list(self._demands.keys())
+        demands = [self._demands[k] for k in keys]
+        alloc = waterfill(self._capacity, demands)
+        self._alloc = dict(zip(keys, alloc.tolist()))
+        self._dirty = False

@@ -1,0 +1,68 @@
+"""Pairwise propagation-delay model.
+
+Coolstreaming exchanges control messages (gossip, BM updates, subscription
+requests) whose timing matters for join latency (Fig. 6) far more than for
+steady-state streaming, which is rate-dominated.  We therefore model latency
+as a per-peer "virtual coordinate" radius: the delay between two peers is
+the sum of their radii plus a base.  This gives a cheap, symmetric,
+triangle-inequality-respecting metric without storing an O(N^2) matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable
+
+import numpy as np
+
+__all__ = ["LatencyModel"]
+
+
+@dataclass
+class LatencyModel:
+    """Sum-of-radii latency metric.
+
+    Parameters
+    ----------
+    base_s:
+        Constant floor added to every path (transmission + stack overhead).
+    mean_radius_s:
+        Mean of the exponential distribution from which per-peer radii are
+        drawn.  A pair of average peers sees ``base + 2 * mean_radius``.
+    """
+
+    base_s: float = 0.010
+    mean_radius_s: float = 0.040
+
+    def __post_init__(self) -> None:
+        if self.base_s < 0 or self.mean_radius_s < 0:
+            raise ValueError("latency parameters must be non-negative")
+        self._radii: Dict[Hashable, float] = {}
+
+    def register(self, node_id: Hashable, rng: np.random.Generator) -> float:
+        """Assign a radius to a node; returns it.  Idempotent per node."""
+        r = self._radii.get(node_id)
+        if r is None:
+            r = float(rng.exponential(self.mean_radius_s)) if self.mean_radius_s else 0.0
+            self._radii[node_id] = r
+        return r
+
+    def unregister(self, node_id: Hashable) -> None:
+        """Forget a node.  Idempotent."""
+        self._radii.pop(node_id, None)
+
+    def delay(self, a: Hashable, b: Hashable) -> float:
+        """One-way propagation delay between registered nodes ``a`` and ``b``."""
+        try:
+            # radii first: IEEE addition is commutative but not associative,
+            # and delay(a, b) == delay(b, a) must hold exactly
+            return self.base_s + (self._radii[a] + self._radii[b])
+        except KeyError as exc:
+            raise KeyError(f"node {exc.args[0]!r} not registered with LatencyModel") from None
+
+    def rtt(self, a: Hashable, b: Hashable) -> float:
+        """Round-trip time between ``a`` and ``b``."""
+        return 2.0 * self.delay(a, b)
+
+    def __contains__(self, node_id: Hashable) -> bool:
+        return node_id in self._radii

@@ -1,0 +1,15 @@
+"""Discrete-event simulation substrate.
+
+This package provides the event-driven kernel on which the reference
+Coolstreaming implementation (:mod:`repro.core`) runs:
+
+* :class:`repro.sim.engine.Engine` -- a binary-heap event loop with
+  deterministic tie-breaking, timers and periodic tasks.
+* :class:`repro.sim.rng.RngHub` -- named, independently seeded random
+  streams so that every experiment is reproducible from a single seed.
+"""
+
+from repro.sim.engine import Engine, Event, PeriodicTask, SimulationError
+from repro.sim.rng import RngHub
+
+__all__ = ["Engine", "Event", "PeriodicTask", "RngHub", "SimulationError"]

@@ -1,0 +1,229 @@
+"""Event-driven simulation kernel.
+
+The kernel is deliberately small and callback-based rather than
+coroutine-based: profiling mesh-pull workloads showed that the dominant cost
+at scale is per-event overhead, and a plain ``heapq`` of ``(time, seq, fn)``
+tuples is several times cheaper than generator-based processes.  Protocol
+code schedules closures; periodic behaviour uses :class:`PeriodicTask`.
+
+Determinism: events scheduled for the same timestamp fire in scheduling
+order (a monotonically increasing sequence number breaks ties), so a run is
+bit-for-bit reproducible given the same seed and scenario.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+__all__ = ["Engine", "Event", "PeriodicTask", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised on kernel misuse (scheduling in the past, running twice...)."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, seq)`` which is what the heap orders on;
+    ``__lt__`` is hand-written because it is the hottest comparison in the
+    simulator (every heap sift calls it).  Cancelling an event merely
+    flags it; the heap entry is skipped lazily when popped (cheaper than
+    heap surgery for the cancellation rates seen in partner-reselection
+    workloads).
+    """
+
+    __slots__ = ("time", "seq", "fn", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[[], None],
+                 cancelled: bool = False) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.cancelled = cancelled
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        flag = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time} seq={self.seq}{flag}>"
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing.  Idempotent."""
+        self.cancelled = True
+
+
+class Engine:
+    """Binary-heap discrete-event loop.
+
+    Parameters
+    ----------
+    start_time:
+        Simulated clock value at which the engine starts (seconds).
+
+    Examples
+    --------
+    >>> eng = Engine()
+    >>> out = []
+    >>> _ = eng.schedule(5.0, lambda: out.append(eng.now))
+    >>> eng.run(until=10.0)
+    >>> out
+    [5.0]
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    # clock & introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def __len__(self) -> int:
+        """Number of pending (non-cancelled) events."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    def peek(self) -> Optional[float]:
+        """Timestamp of the next live event, or ``None`` if the heap is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` to run ``delay`` seconds from now.
+
+        Returns the :class:`Event`, which may be cancelled.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, fn)
+
+    def schedule_at(self, time: float, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` at absolute simulated time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        ev = Event(time=float(time), seq=next(self._seq), fn=fn)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def call_soon(self, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` at the current time (after pending same-time events)."""
+        return self.schedule(0.0, fn)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Process events until the heap empties, ``until`` is reached, or
+        ``max_events`` have fired.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if the last event fires earlier, so periodic statistics windows
+        close deterministically.
+        """
+        if self._running:
+            raise SimulationError("engine is already running")
+        self._running = True
+        self._stopped = False
+        fired = 0
+        try:
+            while self._heap:
+                ev = self._heap[0]
+                if ev.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and ev.time > until:
+                    break
+                if max_events is not None and fired >= max_events:
+                    break
+                heapq.heappop(self._heap)
+                self._now = ev.time
+                ev.fn()
+                fired += 1
+                self.events_processed += 1
+                if self._stopped:
+                    break
+        finally:
+            self._running = False
+        if until is not None and not self._stopped and self._now < until:
+            self._now = until
+
+    def stop(self) -> None:
+        """Stop the loop after the current callback returns."""
+        self._stopped = True
+
+
+class PeriodicTask:
+    """Re-arming timer: runs ``fn`` every ``period`` seconds until stopped.
+
+    The first invocation happens after ``first_delay`` (default: one full
+    period).  Optional jitter decorrelates peers that start simultaneously --
+    e.g. 5-minute status reports in a flash crowd must not all land on the
+    log server in the same instant, exactly as in the deployed system where
+    report phase depends on join time.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        period: float,
+        fn: Callable[[], None],
+        *,
+        first_delay: Optional[float] = None,
+        jitter: float = 0.0,
+        rng: Optional[Any] = None,
+    ) -> None:
+        if period <= 0:
+            raise SimulationError(f"period must be positive (got {period})")
+        if jitter and rng is None:
+            raise SimulationError("jitter requires an rng")
+        self._engine = engine
+        self._period = float(period)
+        self._fn = fn
+        self._jitter = float(jitter)
+        self._rng = rng
+        self._stopped = False
+        self._event: Optional[Event] = None
+        delay = self._period if first_delay is None else float(first_delay)
+        self._arm(delay)
+
+    def _arm(self, delay: float) -> None:
+        if self._jitter:
+            delay = max(0.0, delay + self._rng.uniform(-self._jitter, self._jitter))
+        self._event = self._engine.schedule(delay, self._tick)
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self._fn()
+        if not self._stopped:
+            self._arm(self._period)
+
+    @property
+    def period(self) -> float:
+        """The firing period in seconds."""
+        return self._period
+
+    def stop(self) -> None:
+        """Stop the task; pending firing is cancelled."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()

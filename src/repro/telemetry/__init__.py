@@ -1,0 +1,50 @@
+"""The paper's internal logging system (Section V.A), reproduced.
+
+Clients report to a log server over HTTP; each log entry is a URL query
+string of ``name=value`` pairs.  Reports come in two classes:
+
+* **activity reports** -- join, start-subscription, media-player-ready and
+  leave events, sent immediately;
+* **status reports** -- QoS, traffic and partner reports, sent every five
+  minutes.
+
+The measurement artefacts discussed in the paper (Section V.D: NAT users'
+low continuity never reaching the server because they depart between
+5-minute reports; re-entering users being counted as fresh joins) are
+consequences of this design, so reproducing the figures requires
+reproducing the pipeline: nodes encode reports to log strings, the
+:class:`LogServer` stores raw strings, and :mod:`repro.analysis` works
+only from the parsed strings -- never from simulator-internal state.
+"""
+
+from repro.telemetry.reports import (
+    ActivityEvent,
+    ActivityReport,
+    LeaveReason,
+    PartnerEvent,
+    PartnerOp,
+    PartnerReport,
+    QoSReport,
+    Report,
+    TrafficReport,
+)
+from repro.telemetry.logstring import decode_log_string, encode_log_string
+from repro.telemetry.server import LogEntry, LogServer
+from repro.telemetry.reporter import NodeReporter
+
+__all__ = [
+    "ActivityEvent",
+    "ActivityReport",
+    "LeaveReason",
+    "PartnerEvent",
+    "PartnerOp",
+    "PartnerReport",
+    "QoSReport",
+    "Report",
+    "TrafficReport",
+    "decode_log_string",
+    "encode_log_string",
+    "LogEntry",
+    "LogServer",
+    "NodeReporter",
+]

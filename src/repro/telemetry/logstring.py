@@ -1,0 +1,50 @@
+"""The log-string codec.
+
+"Each log entry in the log file is a normal HTTP request URL string
+referred as a *log string*.  The information from a peer is compacted into
+several parameter parts of the URL string ... formed in 'name=value' pairs
+and separated by '&'." (Section V.A)
+
+We reproduce that format: a log string is ``/log?k1=v1&k2=v2&...`` with
+percent-encoding of reserved characters, so arbitrary values round-trip.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+from urllib.parse import parse_qsl, quote, urlencode
+
+__all__ = ["encode_log_string", "decode_log_string", "LOG_PATH"]
+
+LOG_PATH = "/log"
+
+
+def encode_log_string(params: Dict[str, str]) -> str:
+    """Encode a parameter dict as an HTTP request URL string.
+
+    Keys are emitted in insertion order (clients build them
+    deterministically), values are percent-encoded.
+    """
+    if not params:
+        raise ValueError("a log string needs at least one parameter")
+    for key in params:
+        if not key or "=" in key or "&" in key:
+            raise ValueError(f"invalid parameter name {key!r}")
+    query = urlencode(params, quote_via=quote)
+    return f"{LOG_PATH}?{query}"
+
+
+def decode_log_string(log_string: str) -> Dict[str, str]:
+    """Parse a log string back to its parameter dict.
+
+    Raises ``ValueError`` for strings that are not ``/log?...`` requests --
+    the log server discards malformed lines the same way an HTTP server
+    404s unknown paths.
+    """
+    path, sep, query = log_string.partition("?")
+    if path != LOG_PATH or not sep:
+        raise ValueError(f"not a log request: {log_string[:40]!r}")
+    pairs = parse_qsl(query, keep_blank_values=True, strict_parsing=False)
+    if not pairs:
+        raise ValueError("empty log string")
+    return dict(pairs)

@@ -1,0 +1,267 @@
+"""Report dataclasses: the payloads peers send to the log server.
+
+Section V.A defines two classes of report.  *Activity reports* (join,
+start-subscription, media-player-ready, leave) are sent immediately when
+the event occurs.  *Status reports* are sent every five minutes and come in
+three types: QoS (perceived quality, e.g. fraction of video missing at the
+playback deadline), traffic (bytes up/down) and partner (a compact series
+of partner add/drop activities, batched to reduce log-server load).
+
+Every report can serialize itself to the flat ``name=value`` dictionary
+used by the log-string codec, and be parsed back.  ``session_id`` ties the
+four activity events of one session together; ``user_id`` ties a user's
+retry sessions together (Fig. 10b).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import ClassVar, Dict, List, Optional, Type
+
+__all__ = [
+    "ActivityEvent",
+    "LeaveReason",
+    "Report",
+    "ActivityReport",
+    "QoSReport",
+    "TrafficReport",
+    "PartnerOp",
+    "PartnerEvent",
+    "PartnerReport",
+    "parse_report",
+]
+
+
+class ActivityEvent(str, enum.Enum):
+    """The four session events of Section V.C."""
+
+    JOIN = "join"
+    START_SUBSCRIPTION = "sub"
+    PLAYER_READY = "ready"
+    LEAVE = "leave"
+
+
+class LeaveReason(str, enum.Enum):
+    """Why a session ended (ours; the paper infers this from durations)."""
+
+    NORMAL = "normal"          # user chose to stop watching
+    PROGRAM_END = "prog_end"   # broadcast ended (the 22:00 drop of Fig. 5b)
+    IMPATIENCE = "impatience"  # gave up before the player became ready
+    FAILURE = "failure"        # abrupt disconnect (no leave report reaches
+                               # the server in this case -- see NodeReporter)
+
+
+@dataclass(frozen=True)
+class Report:
+    """Common report header."""
+
+    time: float
+    node_id: int
+    user_id: int
+    session_id: int
+
+    TYPE: ClassVar[str] = "?"
+
+    def _header(self) -> Dict[str, str]:
+        return {
+            "type": self.TYPE,
+            "t": f"{self.time:.3f}",
+            "node": str(self.node_id),
+            "user": str(self.user_id),
+            "sess": str(self.session_id),
+        }
+
+    def to_params(self) -> Dict[str, str]:
+        """Serialize to the flat ``name=value`` parameter dict."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ActivityReport(Report):
+    """Immediate join / start-subscription / player-ready / leave report."""
+
+    event: ActivityEvent = ActivityEvent.JOIN
+    attempt: int = 1                      # 1-based join attempt (retries)
+    address_public: bool = True           # what the client can see locally
+    reason: Optional[LeaveReason] = None  # only for LEAVE
+
+    TYPE: ClassVar[str] = "act"
+
+    def to_params(self) -> Dict[str, str]:
+        """Serialize to the flat ``name=value`` parameter dict."""
+        params = self._header()
+        params["ev"] = self.event.value
+        params["try"] = str(self.attempt)
+        params["pub"] = "1" if self.address_public else "0"
+        if self.reason is not None:
+            params["why"] = self.reason.value
+        return params
+
+    @classmethod
+    def from_params(cls, p: Dict[str, str]) -> "ActivityReport":
+        """Parse back from a decoded parameter dict."""
+        return cls(
+            time=float(p["t"]), node_id=int(p["node"]), user_id=int(p["user"]),
+            session_id=int(p["sess"]), event=ActivityEvent(p["ev"]),
+            attempt=int(p.get("try", "1")),
+            address_public=p.get("pub", "1") == "1",
+            reason=LeaveReason(p["why"]) if "why" in p else None,
+        )
+
+
+@dataclass(frozen=True)
+class QoSReport(Report):
+    """Perceived quality over the last report window.
+
+    ``continuity`` is the window continuity index (``None`` when no blocks
+    came due yet -- the client omits the field, as a player that has not
+    started has no playback quality to report).
+    """
+
+    continuity: Optional[float] = None
+    buffered_seconds: float = 0.0
+    n_parents: int = 0
+    playing: bool = False
+
+    TYPE: ClassVar[str] = "qos"
+
+    def to_params(self) -> Dict[str, str]:
+        """Serialize to the flat ``name=value`` parameter dict."""
+        params = self._header()
+        if self.continuity is not None:
+            params["ci"] = f"{self.continuity:.5f}"
+        params["buf"] = f"{self.buffered_seconds:.2f}"
+        params["par"] = str(self.n_parents)
+        params["play"] = "1" if self.playing else "0"
+        return params
+
+    @classmethod
+    def from_params(cls, p: Dict[str, str]) -> "QoSReport":
+        """Parse back from a decoded parameter dict."""
+        return cls(
+            time=float(p["t"]), node_id=int(p["node"]), user_id=int(p["user"]),
+            session_id=int(p["sess"]),
+            continuity=float(p["ci"]) if "ci" in p else None,
+            buffered_seconds=float(p.get("buf", "0")),
+            n_parents=int(p.get("par", "0")),
+            playing=p.get("play", "0") == "1",
+        )
+
+
+@dataclass(frozen=True)
+class TrafficReport(Report):
+    """Bytes moved since the previous traffic report (plus totals)."""
+
+    bytes_up: float = 0.0
+    bytes_down: float = 0.0
+    total_up: float = 0.0
+    total_down: float = 0.0
+
+    TYPE: ClassVar[str] = "traf"
+
+    def to_params(self) -> Dict[str, str]:
+        """Serialize to the flat ``name=value`` parameter dict."""
+        params = self._header()
+        params["up"] = f"{self.bytes_up:.0f}"
+        params["down"] = f"{self.bytes_down:.0f}"
+        params["tup"] = f"{self.total_up:.0f}"
+        params["tdown"] = f"{self.total_down:.0f}"
+        return params
+
+    @classmethod
+    def from_params(cls, p: Dict[str, str]) -> "TrafficReport":
+        """Parse back from a decoded parameter dict."""
+        return cls(
+            time=float(p["t"]), node_id=int(p["node"]), user_id=int(p["user"]),
+            session_id=int(p["sess"]),
+            bytes_up=float(p["up"]), bytes_down=float(p["down"]),
+            total_up=float(p.get("tup", "0")), total_down=float(p.get("tdown", "0")),
+        )
+
+
+class PartnerOp(str, enum.Enum):
+    """Partner activity kind in the compact event series."""
+
+    ADD = "a"
+    DROP = "d"
+
+
+@dataclass(frozen=True)
+class PartnerEvent:
+    """One partner add/drop, with direction seen from the reporting node."""
+
+    time: float
+    op: PartnerOp
+    partner_id: int
+    incoming: bool  # True when the partner initiated the partnership
+
+    def encode(self) -> str:
+        """Encode to the compact wire token."""
+        d = "i" if self.incoming else "o"
+        return f"{self.time:.1f}:{self.op.value}:{self.partner_id}:{d}"
+
+    @classmethod
+    def decode(cls, token: str) -> "PartnerEvent":
+        """Parse a compact wire token."""
+        t, op, pid, d = token.split(":")
+        return cls(time=float(t), op=PartnerOp(op), partner_id=int(pid),
+                   incoming=(d == "i"))
+
+
+@dataclass(frozen=True)
+class PartnerReport(Report):
+    """Compact series of partner activities since the last status report.
+
+    "Since the nodes might change partners frequently, we use a compact
+    report that records a series of activities to reduce log server's
+    load." (Section V.A)
+    """
+
+    events: tuple[PartnerEvent, ...] = field(default_factory=tuple)
+    n_partners: int = 0
+    n_incoming: int = 0
+    n_outgoing: int = 0
+
+    TYPE: ClassVar[str] = "part"
+
+    def to_params(self) -> Dict[str, str]:
+        """Serialize to the flat ``name=value`` parameter dict."""
+        params = self._header()
+        params["np"] = str(self.n_partners)
+        params["nin"] = str(self.n_incoming)
+        params["nout"] = str(self.n_outgoing)
+        if self.events:
+            params["pev"] = "|".join(e.encode() for e in self.events)
+        return params
+
+    @classmethod
+    def from_params(cls, p: Dict[str, str]) -> "PartnerReport":
+        """Parse back from a decoded parameter dict."""
+        events: tuple[PartnerEvent, ...] = ()
+        if "pev" in p and p["pev"]:
+            events = tuple(PartnerEvent.decode(tok) for tok in p["pev"].split("|"))
+        return cls(
+            time=float(p["t"]), node_id=int(p["node"]), user_id=int(p["user"]),
+            session_id=int(p["sess"]), events=events,
+            n_partners=int(p.get("np", "0")),
+            n_incoming=int(p.get("nin", "0")),
+            n_outgoing=int(p.get("nout", "0")),
+        )
+
+
+_REGISTRY: Dict[str, Type[Report]] = {
+    ActivityReport.TYPE: ActivityReport,
+    QoSReport.TYPE: QoSReport,
+    TrafficReport.TYPE: TrafficReport,
+    PartnerReport.TYPE: PartnerReport,
+}
+
+
+def parse_report(params: Dict[str, str]) -> Report:
+    """Dispatch a decoded parameter dict to the right report class."""
+    try:
+        cls = _REGISTRY[params["type"]]
+    except KeyError:
+        raise ValueError(f"unknown report type {params.get('type')!r}") from None
+    return cls.from_params(params)  # type: ignore[attr-defined]

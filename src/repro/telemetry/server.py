@@ -1,0 +1,130 @@
+"""The dedicated log server.
+
+Stores every received log string (with its arrival timestamp) into an
+in-memory log file, exactly one line per HTTP request, and offers parsed
+views for the analysis package.  A real deployment wrote these lines to
+disk; :meth:`LogServer.dump` / :meth:`LogServer.load` replicate that so the
+analysis toolkit can also be exercised on files.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, TextIO
+
+from repro.telemetry.logstring import decode_log_string, encode_log_string
+from repro.telemetry.reports import Report, parse_report
+
+__all__ = ["LogEntry", "LogServer"]
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One line of the log file: arrival time + raw log string."""
+
+    arrival_time: float
+    log_string: str
+
+    def parse(self) -> Report:
+        """Decode and parse the stored log string into a report."""
+        return parse_report(decode_log_string(self.log_string))
+
+    def to_line(self) -> str:
+        """Render as one log-file line."""
+        return f"{self.arrival_time:.3f} {self.log_string}"
+
+    @classmethod
+    def from_line(cls, line: str) -> "LogEntry":
+        """Parse one log-file line."""
+        ts, _, rest = line.strip().partition(" ")
+        return cls(arrival_time=float(ts), log_string=rest)
+
+
+class LogServer:
+    """Collects log strings from peers.
+
+    ``receive`` is the HTTP endpoint: it accepts the raw string and the
+    (simulated) arrival time.  Malformed requests are counted and dropped,
+    not raised -- a log server must survive garbage.
+    """
+
+    def __init__(self) -> None:
+        self._entries: List[LogEntry] = []
+        self.malformed_count = 0
+
+    # --- ingestion -------------------------------------------------------
+    def receive(self, arrival_time: float, log_string: str) -> bool:
+        """Store one log string; returns False (and counts) if malformed."""
+        try:
+            decode_log_string(log_string)
+        except ValueError:
+            self.malformed_count += 1
+            return False
+        self._entries.append(LogEntry(arrival_time, log_string))
+        return True
+
+    def receive_report(self, arrival_time: float, report: Report) -> None:
+        """Convenience: encode and store a report object."""
+        self._entries.append(
+            LogEntry(arrival_time, encode_log_string(report.to_params()))
+        )
+
+    # --- access ------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[LogEntry]:
+        """Snapshot of stored entries."""
+        return list(self._entries)
+
+    def reports(self) -> Iterator[Report]:
+        """Parse every stored entry, in arrival order."""
+        for entry in self._entries:
+            yield entry.parse()
+
+    def reports_of(self, report_type: type) -> Iterator[Report]:
+        """Parsed reports filtered to one report class."""
+        for report in self.reports():
+            if isinstance(report, report_type):
+                yield report
+
+    # --- persistence ----------------------------------------------------------
+    def dump(self, fp: TextIO) -> int:
+        """Write the log file; one entry per line.  Returns lines written."""
+        n = 0
+        for entry in self._entries:
+            fp.write(entry.to_line() + "\n")
+            n += 1
+        return n
+
+    def dumps(self) -> str:
+        """The log file contents as a string."""
+        buf = io.StringIO()
+        self.dump(buf)
+        return buf.getvalue()
+
+    @classmethod
+    def load(cls, fp: TextIO) -> "LogServer":
+        """Rebuild a server from a dumped log file."""
+        server = cls()
+        for line in fp:
+            line = line.strip()
+            if line:
+                server._entries.append(LogEntry.from_line(line))
+        return server
+
+    @classmethod
+    def loads(cls, text: str) -> "LogServer":
+        """Rebuild a server from dumped log-file text."""
+        return cls.load(io.StringIO(text))
+
+    def merged_with(self, other: "LogServer") -> "LogServer":
+        """Union of two logs, re-sorted by arrival time (multi-server
+        deployments merged their files the same way)."""
+        merged = LogServer()
+        merged._entries = sorted(
+            self._entries + other._entries, key=lambda e: e.arrival_time
+        )
+        merged.malformed_count = self.malformed_count + other.malformed_count
+        return merged

@@ -1,0 +1,211 @@
+"""User agents: the human behind the peer.
+
+A *user* arrives once, intends to watch for some duration, and may run
+several *sessions*: when a join attempt times out (impatience) or the
+stream becomes unwatchable (stall departure), the user re-tries after a
+short backoff -- "many users initiate joining multiple times before
+successfully obtaining the video program" (Section V.E, Fig. 10b).
+
+The agent also implements departures: a scheduled normal leave when the
+intended watch time is up, probabilistic leaves at program endings (the
+22:00 cliff), and a configurable share of *abrupt* departures that send no
+leave report -- the log-visibility artefact Section V.D leans on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.node import PeerNode, SessionOutcome
+from repro.core.system import CoolstreamingSystem
+from repro.telemetry.reports import LeaveReason
+from repro.workload.sessions import ProgramSchedule, SessionDurationModel
+
+__all__ = ["UserAgent", "UserPopulation"]
+
+
+@dataclass
+class SessionRecord:
+    """Ground-truth record of one session of one user (simulator-side)."""
+
+    session_id: int
+    attempt: int
+    started_at: float
+    ended_at: Optional[float] = None
+    outcome: Optional[SessionOutcome] = None
+
+
+class UserAgent:
+    """One user: arrival, watch intent, retries, departure."""
+
+    def __init__(
+        self,
+        system: CoolstreamingSystem,
+        *,
+        user_id: int,
+        arrival_time: float,
+        intended_duration_s: float,
+        max_retries: int,
+        retry_backoff_s: float,
+        silent_leave_prob: float = 0.1,
+    ) -> None:
+        self.system = system
+        self.user_id = user_id
+        self.arrival_time = float(arrival_time)
+        self.departure_deadline = self.arrival_time + float(intended_duration_s)
+        self.max_retries = int(max_retries)
+        self.retry_backoff_s = float(retry_backoff_s)
+        self.silent_leave_prob = float(silent_leave_prob)
+        self._rng = system.rng.stream(f"user.{user_id}")
+        self.attempts = 0
+        self.sessions: List[SessionRecord] = []
+        self.node: Optional[PeerNode] = None
+        self.done = False
+
+    # ------------------------------------------------------------------
+    def schedule_arrival(self) -> None:
+        """Put the user's first join on the engine."""
+        self.system.engine.schedule_at(self.arrival_time, self._join)
+
+    def _join(self) -> None:
+        if self.done:
+            return
+        now = self.system.engine.now
+        if now >= self.departure_deadline:
+            self.done = True  # patience/backoff ate the whole watch window
+            return
+        self.attempts += 1
+        node = self.system.spawn_peer(user_id=self.user_id, attempt=self.attempts)
+        node.on_session_end = self._on_session_end
+        self.node = node
+        self.sessions.append(
+            SessionRecord(session_id=node.session_id, attempt=self.attempts,
+                          started_at=now)
+        )
+        # normal departure when the intended watch time is up
+        self.system.engine.schedule_at(
+            self.departure_deadline,
+            lambda n=node: self._depart_normally(n),
+        )
+
+    def _depart_normally(self, node: PeerNode) -> None:
+        if node is self.node and node.alive:
+            silent = bool(self._rng.random() < self.silent_leave_prob)
+            node.leave(LeaveReason.NORMAL, silent=silent)
+
+    def program_ended(self, leave_probability: float) -> None:
+        """A program just finished; this user leaves with the given
+        probability (and does not rejoin)."""
+        if self.done or self.node is None or not self.node.alive:
+            return
+        if self._rng.random() < leave_probability:
+            self.done = True
+            self.node.leave(LeaveReason.PROGRAM_END)
+
+    # ------------------------------------------------------------------
+    def _on_session_end(self, node: PeerNode) -> None:
+        record = self.sessions[-1]
+        record.ended_at = self.system.engine.now
+        record.outcome = node.outcome
+        if self.done:
+            return
+        if node.outcome in (SessionOutcome.NORMAL, SessionOutcome.PROGRAM_END):
+            self.done = True
+            return
+        # impatient/failed: retry while the user still wants to watch
+        if self.attempts > self.max_retries:
+            self.done = True
+            return
+        backoff = self.retry_backoff_s * (0.5 + self._rng.random())
+        self.system.engine.schedule(backoff, self._join)
+
+    # ------------------------------------------------------------------
+    @property
+    def ever_played(self) -> bool:
+        """Whether any of the user's sessions reached playback."""
+        return any(
+            s.outcome in (SessionOutcome.NORMAL, SessionOutcome.PROGRAM_END)
+            for s in self.sessions
+        ) or (self.node is not None and self.node.player_ready_at is not None)
+
+    @property
+    def retry_count(self) -> int:
+        """Join attempts beyond the first (the Fig. 10b statistic)."""
+        return max(0, self.attempts - 1)
+
+
+class UserPopulation:
+    """Drives a whole audience against one system.
+
+    Construction samples nothing; :meth:`attach` schedules every arrival,
+    program-ending wave and departure on the system's engine.
+    """
+
+    def __init__(
+        self,
+        system: CoolstreamingSystem,
+        *,
+        arrival_times: np.ndarray,
+        duration_model: Optional[SessionDurationModel] = None,
+        schedule: Optional[ProgramSchedule] = None,
+        silent_leave_prob: float = 0.1,
+        user_id_base: int = 0,
+    ) -> None:
+        self.system = system
+        self.duration_model = duration_model or SessionDurationModel()
+        self.schedule = schedule or ProgramSchedule()
+        self.users: List[UserAgent] = []
+        rng = system.rng.stream("workload.durations")
+        durations = self.duration_model.sample(rng, len(arrival_times))
+        cfg = system.cfg
+        for i, (t, dur) in enumerate(zip(np.asarray(arrival_times), durations)):
+            self.users.append(
+                UserAgent(
+                    system,
+                    user_id=user_id_base + i,
+                    arrival_time=float(t),
+                    intended_duration_s=float(dur),
+                    max_retries=cfg.max_join_retries,
+                    retry_backoff_s=cfg.retry_backoff_s,
+                    silent_leave_prob=silent_leave_prob,
+                )
+            )
+        self._attached = False
+
+    def attach(self) -> None:
+        """Schedule all arrivals and program endings.  Idempotent-guarded."""
+        if self._attached:
+            raise RuntimeError("population already attached")
+        self._attached = True
+        for user in self.users:
+            user.schedule_arrival()
+        for time_s, prob in self.schedule.endings:
+            self.system.engine.schedule_at(
+                time_s, lambda p=prob: self._program_ending(p)
+            )
+
+    def _program_ending(self, leave_probability: float) -> None:
+        for user in self.users:
+            user.program_ended(leave_probability)
+
+    # --- ground-truth statistics --------------------------------------------
+    def retry_histogram(self) -> dict[int, int]:
+        """retries -> number of users (only users whose arrival has passed)."""
+        now = self.system.engine.now
+        hist: dict[int, int] = {}
+        for user in self.users:
+            if user.arrival_time > now:
+                continue
+            hist[user.retry_count] = hist.get(user.retry_count, 0) + 1
+        return hist
+
+    def success_fraction(self) -> float:
+        """Fraction of arrived users that ever reached playback."""
+        now = self.system.engine.now
+        arrived = [u for u in self.users if u.arrival_time <= now]
+        if not arrived:
+            return float("nan")
+        return sum(1 for u in arrived if u.ever_played) / len(arrived)

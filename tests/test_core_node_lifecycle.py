@@ -1,0 +1,239 @@
+"""Integration tests of the peer-node lifecycle on a real system."""
+
+import pytest
+
+from repro.core.node import NodeState, SessionOutcome
+from repro.core.system import CoolstreamingSystem
+from repro.network.connectivity import ConnectivityClass
+from repro.telemetry.reports import (
+    ActivityEvent,
+    ActivityReport,
+    LeaveReason,
+    QoSReport,
+)
+
+
+class TestJoinPipeline:
+    def test_single_peer_reaches_playing(self, small_system):
+        node = None
+
+        def spawn():
+            nonlocal node
+            node = small_system.spawn_peer(user_id=0)
+
+        small_system.engine.schedule(5.0, spawn)
+        small_system.run(until=120.0)
+        assert node.state is NodeState.PLAYING
+        assert node.player_ready_at is not None
+        assert node.start_subscription_at is not None
+
+    def test_event_ordering(self, small_system):
+        node = None
+
+        def spawn():
+            nonlocal node
+            node = small_system.spawn_peer(user_id=0)
+
+        small_system.engine.schedule(5.0, spawn)
+        small_system.run(until=120.0)
+        assert node.joined_at < node.start_subscription_at
+        assert node.start_subscription_at <= node.player_ready_at
+
+    def test_player_ready_respects_buffer_threshold(self, small_system):
+        node = None
+
+        def spawn():
+            nonlocal node
+            node = small_system.spawn_peer(user_id=0)
+
+        small_system.engine.schedule(5.0, spawn)
+        small_system.run(until=120.0)
+        # at ready time the combined buffer held >= player_buffer_s seconds
+        assert min(node.heads) + 1 - node.start_index >= (
+            small_system.cfg.player_buffer_s
+        )
+
+    def test_offset_follows_tp_rule(self, small_system):
+        """Section IV.A: start from (max partner head) - T_p."""
+        node = None
+
+        def spawn():
+            nonlocal node
+            node = small_system.spawn_peer(user_id=0)
+
+        small_system.engine.schedule(60.0, spawn)  # stream is 60 s old
+        small_system.run(until=90.0)
+        edge = small_system.source.heads[0]
+        # the offset is near edge - T_p (within a few seconds of control lag)
+        assert node.start_index == pytest.approx(
+            edge - (small_system.engine.now - 60.0) - small_system.cfg.tp_seconds,
+            abs=6.0,
+        )
+
+    def test_node_gets_partners_before_parents(self, small_system):
+        node = None
+
+        def spawn():
+            nonlocal node
+            node = small_system.spawn_peer(user_id=0)
+
+        small_system.engine.schedule(5.0, spawn)
+        small_system.run(until=120.0)
+        assert len(node.partners) >= 1
+        parents = {p for p in node.parents if p is not None}
+        assert parents  # someone feeds us
+        assert parents <= set(node.partners.ids())  # parents are partners
+
+
+class TestLeave:
+    def test_graceful_leave_reports_and_clears(self, small_system):
+        node = None
+
+        def spawn():
+            nonlocal node
+            node = small_system.spawn_peer(user_id=0)
+
+        small_system.engine.schedule(5.0, spawn)
+        small_system.engine.schedule(100.0, lambda: node.leave(LeaveReason.NORMAL))
+        small_system.run(until=150.0)
+        assert node.state is NodeState.LEFT
+        assert node.outcome is SessionOutcome.NORMAL
+        events = [
+            r.event for r in small_system.log.reports_of(ActivityReport)
+            if r.node_id == node.node_id
+        ]
+        assert events[-1] is ActivityEvent.LEAVE
+
+    def test_silent_leave_sends_no_leave_report(self, small_system):
+        node = None
+
+        def spawn():
+            nonlocal node
+            node = small_system.spawn_peer(user_id=0)
+
+        small_system.engine.schedule(5.0, spawn)
+        small_system.engine.schedule(
+            100.0, lambda: node.leave(LeaveReason.FAILURE, silent=True)
+        )
+        small_system.run(until=400.0)
+        events = [
+            r.event for r in small_system.log.reports_of(ActivityReport)
+            if r.node_id == node.node_id
+        ]
+        assert ActivityEvent.LEAVE not in events
+
+    def test_leave_is_idempotent(self, small_system):
+        node = None
+
+        def spawn():
+            nonlocal node
+            node = small_system.spawn_peer(user_id=0)
+
+        small_system.engine.schedule(5.0, spawn)
+        small_system.run(until=60.0)
+        node.leave(LeaveReason.NORMAL)
+        node.leave(LeaveReason.FAILURE)  # ignored
+        assert node.outcome is SessionOutcome.NORMAL
+
+    def test_session_end_hook_fires_once(self, small_system):
+        calls = []
+        node = None
+
+        def spawn():
+            nonlocal node
+            node = small_system.spawn_peer(user_id=0)
+            node.on_session_end = calls.append
+
+        small_system.engine.schedule(5.0, spawn)
+        small_system.engine.schedule(60.0, lambda: node.leave(LeaveReason.NORMAL))
+        small_system.run(until=100.0)
+        assert calls == [node]
+
+
+class TestChurnRecovery:
+    def test_children_survive_parent_departure(self, small_cfg):
+        """When a parent leaves gracefully, its children re-select within
+        a few control periods and keep playing."""
+        system = CoolstreamingSystem(small_cfg, seed=11)
+        nodes = []
+        for u in range(12):
+            system.engine.schedule(
+                u * 1.0, lambda u=u: nodes.append(system.spawn_peer(user_id=u))
+            )
+        system.run(until=90.0)
+        # kill every peer that currently parents someone (not servers)
+        parents_now = {
+            parent for parent, _c, _s in system.parent_child_edges()
+            if parent >= 1000
+        }
+        for pid in parents_now:
+            system.get_node(pid).leave(LeaveReason.FAILURE, silent=True)
+        system.run(until=240.0)
+        survivors = [n for n in nodes if n.alive]
+        assert survivors
+        playing = [n for n in survivors if n.state is NodeState.PLAYING]
+        assert len(playing) >= 0.8 * len(survivors)
+        # their parents are all alive again
+        for n in playing:
+            for p in n.parents:
+                if p is not None:
+                    assert system.get_node(p).alive
+
+    def test_impatience_triggers_leave(self, small_cfg):
+        """A peer that cannot find the stream gives up within patience."""
+        # no servers -> nothing to stream from
+        system = CoolstreamingSystem(
+            small_cfg.with_overrides(n_servers=0), seed=1, start_servers=True
+        )
+        node = system.spawn_peer(user_id=0)
+        system.run(until=small_cfg.join_patience_s + 30.0)
+        assert node.state is NodeState.LEFT
+        assert node.outcome is SessionOutcome.IMPATIENT
+
+
+class TestTelemetryFromNode:
+    def test_status_reports_every_five_minutes(self, small_system):
+        node = None
+
+        def spawn():
+            nonlocal node
+            node = small_system.spawn_peer(user_id=0)
+
+        small_system.engine.schedule(0.0, spawn)
+        small_system.run(until=650.0)
+        qos = [
+            r for r in small_system.log.reports_of(QoSReport)
+            if r.node_id == node.node_id
+        ]
+        assert len(qos) == 2  # t ~ 300 and ~ 600
+
+    def test_qos_report_carries_continuity_once_playing(self, small_system):
+        node = None
+
+        def spawn():
+            nonlocal node
+            node = small_system.spawn_peer(user_id=0)
+
+        small_system.engine.schedule(0.0, spawn)
+        small_system.run(until=350.0)
+        qos = [
+            r for r in small_system.log.reports_of(QoSReport)
+            if r.node_id == node.node_id
+        ]
+        assert qos[0].playing
+        assert qos[0].continuity is not None
+        assert qos[0].continuity > 0.9
+
+    def test_traffic_reports_balance(self, populated_system):
+        """Total bytes uploaded across peers+servers ~ total downloaded."""
+        from repro.telemetry.reports import TrafficReport
+
+        down = sum(
+            r.bytes_down for r in populated_system.log.reports_of(TrafficReport)
+        )
+        assert down > 0
+        # peers download from servers, so peer-side up < down
+        up = sum(
+            r.bytes_up for r in populated_system.log.reports_of(TrafficReport)
+        )
+        assert up <= down * 1.01

@@ -1,0 +1,195 @@
+"""Tests for pull-mode scheduling (the DONet baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.node import NodeState
+from repro.core.pull import PullRequest, PullRequester, PullScheduler
+from repro.core.system import CoolstreamingSystem
+
+
+class TestPullRequest:
+    def test_size(self):
+        assert PullRequest(0, 3, 7).size == 5
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            PullRequest(0, 5, 4)
+        with pytest.raises(ValueError):
+            PullRequest(0, -1, 4)
+
+
+class TestPullScheduler:
+    def make(self, slots=10.0):
+        return PullScheduler(slots, 1.0, 1.0)
+
+    def collect(self):
+        got = []
+
+        def push(child, sub, first, last):
+            got.append((child, sub, first, last))
+
+        return got, push
+
+    def test_serves_queued_request(self):
+        sched = self.make()
+        sched.enqueue(1, [PullRequest(0, 0, 4)])
+        got, push = self.collect()
+        sched.deliver(1.0, [10], lambda h: 0, push)
+        assert got == [(1, 0, 0, 4)]
+        assert sched.outstanding(1) == 0
+
+    def test_large_request_served_across_quanta(self):
+        sched = self.make(slots=3.0)  # 3 blocks/s at catch-up... capped by rate
+        sched.enqueue(1, [PullRequest(0, 0, 9)])
+        got, push = self.collect()
+        sched.deliver(1.0, [20], lambda h: 0, push)
+        served_first = sum(l - f + 1 for _c, _s, f, l in got)
+        assert 0 < served_first < 10
+        for _ in range(5):
+            sched.deliver(1.0, [20], lambda h: 0, push)
+        served = sum(l - f + 1 for _c, _s, f, l in got)
+        assert served == 10
+
+    def test_clamps_to_parent_head(self):
+        sched = self.make()
+        sched.enqueue(1, [PullRequest(0, 0, 9)])
+        got, push = self.collect()
+        sched.deliver(1.0, [4], lambda h: 0, push)
+        assert got[-1][3] <= 4
+
+    def test_discards_unservable(self):
+        sched = self.make()
+        sched.enqueue(1, [PullRequest(0, 50, 60)])  # far beyond head
+        got, push = self.collect()
+        sched.deliver(1.0, [4], lambda h: 0, push)
+        assert got == []
+        assert sched.outstanding(1) == 0  # dropped; child will re-request
+
+    def test_clamps_to_cache_floor(self):
+        sched = self.make()
+        sched.enqueue(1, [PullRequest(0, 90, 99)])
+        got, push = self.collect()
+        sched.deliver(1.0, [100], lambda h: 95, push)
+        assert got[0][2] == 95  # evicted prefix skipped
+
+    def test_fully_evicted_request_discarded(self):
+        sched = self.make()
+        sched.enqueue(1, [PullRequest(0, 0, 9)])
+        got, push = self.collect()
+        sched.deliver(1.0, [100], lambda h: 95, push)
+        assert got == []
+        assert sched.outstanding(1) == 0
+
+    def test_fair_sharing_between_children(self):
+        sched = self.make(slots=4.0)
+        sched.enqueue(1, [PullRequest(0, 0, 99)])
+        sched.enqueue(2, [PullRequest(0, 0, 99)])
+        got, push = self.collect()
+        for _ in range(10):
+            sched.deliver(1.0, [200], lambda h: 0, push)
+        per_child = {1: 0, 2: 0}
+        for c, _s, f, l in got:
+            per_child[c] += l - f + 1
+        assert abs(per_child[1] - per_child[2]) <= 4
+
+    def test_drop_child_clears_queue(self):
+        sched = self.make()
+        sched.enqueue(1, [PullRequest(0, 0, 9)])
+        sched.drop_child(1)
+        assert sched.outstanding(1) == 0
+        assert sched.busy_children == 0
+
+
+class TestPullRequester:
+    def test_plans_from_head_to_horizon(self, rng):
+        req = PullRequester(2, horizon_blocks=5, timeout_s=4.0)
+        plan = req.plan(0.0, [9, 9], [(7, [30, 30])], rng)
+        assert set(plan) == {7}
+        intervals = {(r.substream, r.first, r.last) for r in plan[7]}
+        assert intervals == {(0, 10, 14), (1, 10, 14)}
+
+    def test_no_duplicate_in_flight_requests(self, rng):
+        req = PullRequester(1, horizon_blocks=5, timeout_s=4.0)
+        p1 = req.plan(0.0, [9], [(7, [30])], rng)
+        assert p1
+        p2 = req.plan(1.0, [9], [(7, [30])], rng)  # nothing arrived yet
+        assert p2 == {}
+
+    def test_timeout_replans(self, rng):
+        req = PullRequester(1, horizon_blocks=5, timeout_s=4.0)
+        req.plan(0.0, [9], [(7, [30])], rng)
+        p2 = req.plan(5.0, [9], [(7, [30])], rng)  # expired
+        assert p2
+
+    def test_head_progress_allows_next_request(self, rng):
+        req = PullRequester(1, horizon_blocks=5, timeout_s=100.0)
+        req.plan(0.0, [9], [(7, [30])], rng)
+        req.note_head(0, 14)  # everything arrived
+        p2 = req.plan(1.0, [14], [(7, [30])], rng)
+        assert p2[7][0].first == 15
+
+    def test_clamped_by_supplier_head(self, rng):
+        req = PullRequester(1, horizon_blocks=50, timeout_s=4.0)
+        plan = req.plan(0.0, [9], [(7, [12])], rng)
+        assert plan[7][0].last == 12
+
+    def test_unqualified_suppliers_skipped(self, rng):
+        req = PullRequester(1, horizon_blocks=5, timeout_s=4.0)
+        assert req.plan(0.0, [9], [(7, [8])], rng) == {}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PullRequester(0, 5, 1.0)
+        with pytest.raises(ValueError):
+            PullRequester(1, 5, 0.0)
+
+
+class TestPullModeEndToEnd:
+    def test_peers_reach_playing(self, small_cfg):
+        cfg = small_cfg.with_overrides(delivery_mode="pull")
+        system = CoolstreamingSystem(cfg, seed=3)
+        nodes = []
+        for u in range(12):
+            system.engine.schedule(
+                u * 1.0, lambda u=u: nodes.append(system.spawn_peer(user_id=u))
+            )
+        system.run(until=240.0)
+        playing = [n for n in nodes if n.alive and n.state is NodeState.PLAYING]
+        assert len(playing) >= 10
+        cont = [n.playback.continuity_index for n in playing]
+        assert min(cont) > 0.9
+
+    def test_pull_uses_no_push_subscriptions(self, small_cfg):
+        cfg = small_cfg.with_overrides(delivery_mode="pull")
+        system = CoolstreamingSystem(cfg, seed=3)
+        node = system.spawn_peer(user_id=0)
+        system.run(until=120.0)
+        assert node.state is NodeState.PLAYING
+        assert all(p is None for p in node.parents)
+        # requests flowed instead
+        assert node.pull_req.requests_sent > 0
+
+    def test_pull_survives_supplier_departure(self, small_cfg):
+        from repro.telemetry.reports import LeaveReason
+
+        cfg = small_cfg.with_overrides(delivery_mode="pull")
+        system = CoolstreamingSystem(cfg, seed=9)
+        nodes = []
+        for u in range(10):
+            system.engine.schedule(
+                u * 1.0, lambda u=u: nodes.append(system.spawn_peer(user_id=u))
+            )
+        system.run(until=100.0)
+        # kill half the peers silently
+        for n in [x for x in nodes if x.alive][::2]:
+            n.leave(LeaveReason.FAILURE, silent=True)
+        system.run(until=260.0)
+        survivors = [n for n in nodes if n.alive]
+        playing = [n for n in survivors if n.state is NodeState.PLAYING]
+        assert len(playing) >= 0.7 * len(survivors)
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            SystemConfig(delivery_mode="hybrid")

@@ -1,0 +1,54 @@
+"""Smoke tests: every shipped example must run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 300) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "media-player-ready time" in out
+    assert "contributor-class peers" in out
+
+
+def test_log_pipeline():
+    out = run_example("log_pipeline.py")
+    assert "reconstructed" in out
+    assert "/log?type=act" in out
+
+
+def test_adaptation_theory():
+    out = run_example("adaptation_theory.py")
+    assert "Eq. 3" in out
+    assert "Convergence" in out
+
+
+def test_flash_crowd():
+    out = run_example("flash_crowd.py", timeout=600)
+    assert "mCache replacement: random" in out
+    assert "mCache replacement: age" in out
+
+
+def test_broadcast_event():
+    out = run_example("broadcast_event.py", timeout=600)
+    assert "peak concurrent users" in out
+    assert "steady continuity" in out
+
+
+def test_multichannel_evening():
+    out = run_example("multichannel_evening.py", timeout=600)
+    assert "platform total" in out
+    assert "zaps" in out

@@ -1,0 +1,109 @@
+"""Regression tests for the optimized hot paths.
+
+Each fast path must be behaviourally identical to the general path it
+shortcuts; these tests pin the boundary cases.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.buffer import SyncBuffer
+from repro.core.stream import UploadScheduler
+from repro.network.fairshare import waterfill
+from repro.sim.engine import Engine, Event
+
+
+class TestSyncBufferBulkPath:
+    def test_bulk_path_with_pending_falls_back(self):
+        buf = SyncBuffer()
+        buf.receive(5)  # pending gap
+        advanced = buf.receive_range(0, 7)
+        assert advanced == 8
+        assert buf.head == 7
+        assert buf.pending == frozenset()
+
+    def test_bulk_path_entirely_behind_head(self):
+        buf = SyncBuffer()
+        buf.receive_range(0, 9)
+        assert buf.receive_range(2, 7) == 0
+        assert buf.head == 9
+
+    def test_bulk_path_overlapping_head(self):
+        buf = SyncBuffer()
+        buf.receive_range(0, 4)
+        assert buf.receive_range(3, 8) == 4
+        assert buf.head == 8
+
+    @given(
+        ranges=st.lists(
+            st.tuples(st.integers(0, 40), st.integers(0, 20)),
+            min_size=1, max_size=20,
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_property_range_vs_single_equivalence(self, ranges):
+        """receive_range == a sequence of single receives, always."""
+        bulk = SyncBuffer()
+        single = SyncBuffer()
+        for first, span in ranges:
+            last = first + span
+            a = bulk.receive_range(first, last)
+            b = sum(single.receive(i) for i in range(first, last + 1))
+            assert a == b
+        assert bulk.head == single.head
+        assert bulk.pending == single.pending
+
+
+class TestDeliverFastPath:
+    def test_underloaded_matches_waterfill_exactly(self):
+        """When capacity covers demand, the fast path and waterfill agree."""
+        demands = [1.0, 1.0, 12.0]
+        assert np.allclose(waterfill(100.0, demands), demands)
+
+    def test_delivery_identical_across_paths(self):
+        # same scenario, capacities straddling the fast-path threshold
+        def run(cap):
+            sched = UploadScheduler(cap, 1.0, 1.0)
+            for c in range(3):
+                sched.subscribe(c, 0, 1, now=0.0)
+            got = {c: 0 for c in range(3)}
+
+            def push(conn, first, last):
+                got[conn.child_id] += last - first + 1
+
+            for head in range(1, 21):
+                sched.deliver(1.0, [head], lambda h: 0, push)
+            return got
+
+        ample = run(100.0)   # fast path
+        exact = run(3.0)     # exactly at the threshold (sum of demands)
+        assert ample == exact  # all caught-up children track live rate
+
+
+class TestEventOrdering:
+    def test_lt_by_time_then_seq(self):
+        a = Event(1.0, 5, lambda: None)
+        b = Event(1.0, 6, lambda: None)
+        c = Event(0.5, 99, lambda: None)
+        assert c < a < b
+        assert not (b < a)
+
+    def test_slots_prevent_dict_bloat(self):
+        ev = Event(0.0, 0, lambda: None)
+        with pytest.raises(AttributeError):
+            ev.extra = 1  # __slots__ keeps the hot object lean
+
+    def test_heap_order_stability_after_optimization(self):
+        eng = Engine()
+        order = []
+        for i in range(50):
+            eng.schedule(float(i % 3), lambda i=i: order.append(i))
+        eng.run()
+        # within each timestamp, insertion order is preserved
+        by_time = {0: [], 1: [], 2: []}
+        for i in order:
+            by_time[i % 3].append(i)
+        for ids in by_time.values():
+            assert ids == sorted(ids)

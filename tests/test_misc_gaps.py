@@ -1,0 +1,92 @@
+"""Gap-filling tests: smaller behaviours not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.system import CoolstreamingSystem
+from repro.experiments.ablations import run_variant
+from repro.network.latency import LatencyModel
+from repro.workload.arrivals import DiurnalProfile
+
+
+class TestDiurnalSamplingStatistics:
+    def test_evening_heavy(self, rng):
+        profile = DiurnalProfile.evening_peak(day_seconds=86_400.0,
+                                              peak_rate=0.5)
+        times = profile.sample(86_400.0, rng)
+        evening = ((times > 18 * 3600) & (times < 22 * 3600)).sum()
+        night = ((times > 1 * 3600) & (times < 5 * 3600)).sum()
+        assert evening > 4 * max(1, night)
+
+    def test_rate_at_clamps_outside_anchors(self):
+        profile = DiurnalProfile(anchors=((10.0, 2.0), (20.0, 4.0)))
+        assert profile.rate_at(0.0) == 2.0
+        assert profile.rate_at(100.0) == 4.0
+
+
+class TestLatencyContains:
+    def test_membership_protocol(self, rng):
+        model = LatencyModel()
+        assert "x" not in model
+        model.register("x", rng)
+        assert "x" in model
+
+
+class TestOwnBufferMapSubscriptions:
+    def test_subscription_bits_reflect_parents(self, small_system):
+        """The second K entries of the 2K-tuple flag subscribed
+        sub-streams (Fig. 2's wire format, live)."""
+        node = small_system.spawn_peer(user_id=0)
+        small_system.run(until=60.0)
+        bm = node._own_bm()
+        for sub in range(small_system.cfg.n_substreams):
+            assert bm.subscriptions[sub] == (node.parents[sub] is not None)
+
+    def test_heads_match_sync_buffers(self, small_system):
+        node = small_system.spawn_peer(user_id=0)
+        small_system.run(until=60.0)
+        bm = node._own_bm()
+        for sub in range(small_system.cfg.n_substreams):
+            assert bm.head_local(sub, small_system.geometry) == node.heads[sub]
+
+
+class TestPullThroughAblationHarness:
+    def test_run_variant_handles_pull_mode(self):
+        cfg = SystemConfig(n_servers=2, delivery_mode="pull")
+        out = run_variant(cfg, seed=1, burst_users_per_s=0.5, horizon_s=400.0)
+        assert out["success_fraction"] > 0.7
+        assert out["sessions"] > 0
+
+
+class TestReporterPhaseIndependence:
+    def test_two_nodes_report_at_different_phases(self, small_system):
+        """Status reports are phase-shifted by join time (the deployed
+        collector's behaviour), so a flash crowd's reports spread out."""
+        nodes = []
+        small_system.engine.schedule(
+            0.0, lambda: nodes.append(small_system.spawn_peer(user_id=0)))
+        small_system.engine.schedule(
+            47.0, lambda: nodes.append(small_system.spawn_peer(user_id=1)))
+        small_system.run(until=400.0)
+        from repro.telemetry.reports import QoSReport
+
+        by_node = {}
+        for r in small_system.log.reports_of(QoSReport):
+            by_node.setdefault(r.node_id, []).append(r.time)
+        times = [v[0] for v in by_node.values() if v]
+        assert len(times) == 2
+        assert abs(times[0] - times[1]) > 10.0
+
+
+class TestConfigTableCustomization:
+    def test_pull_mode_visible_in_repr_fields(self):
+        cfg = SystemConfig(delivery_mode="pull", pull_horizon_s=6.0)
+        assert cfg.pull_horizon_s == 6.0
+        assert cfg.with_overrides(delivery_mode="push").delivery_mode == "push"
+
+    def test_invalid_pull_params(self):
+        with pytest.raises(ValueError):
+            SystemConfig(pull_horizon_s=0.0)
+        with pytest.raises(ValueError):
+            SystemConfig(pull_timeout_s=-1.0)

@@ -1,0 +1,154 @@
+"""Unit and property tests for the max-min fair-share allocator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.fairshare import FairShareAllocator, waterfill
+
+
+class TestWaterfill:
+    def test_empty_demands(self):
+        assert waterfill(10.0, []).size == 0
+
+    def test_ample_capacity_satisfies_all(self):
+        alloc = waterfill(100.0, [10, 20, 30])
+        assert np.allclose(alloc, [10, 20, 30])
+
+    def test_equal_split_when_equal_demands_exceed_capacity(self):
+        alloc = waterfill(30.0, [100, 100, 100])
+        assert np.allclose(alloc, [10, 10, 10])
+
+    def test_small_demand_protected(self):
+        # max-min: the 1-unit demand is fully served before big demands split
+        alloc = waterfill(10.0, [1.0, 100.0, 100.0])
+        assert np.isclose(alloc[0], 1.0)
+        assert np.isclose(alloc[1], 4.5)
+        assert np.isclose(alloc[2], 4.5)
+
+    def test_eq5_special_case(self):
+        # Eq. (5): D_p children exactly provisioned, one more joins ->
+        # everyone drops to D_p/(D_p+1) of nominal
+        d_p = 4
+        nominal = 1.0
+        alloc = waterfill(d_p * nominal, [np.inf] * (d_p + 1))
+        assert np.allclose(alloc, d_p / (d_p + 1) * nominal)
+
+    def test_inf_demands_split_capacity(self):
+        alloc = waterfill(9.0, [np.inf, np.inf, np.inf])
+        assert np.allclose(alloc, 3.0)
+
+    def test_zero_capacity(self):
+        alloc = waterfill(0.0, [5, 5])
+        assert np.allclose(alloc, 0.0)
+
+    def test_zero_demand_gets_zero(self):
+        alloc = waterfill(10.0, [0.0, 5.0])
+        assert alloc[0] == 0.0
+        assert np.isclose(alloc[1], 5.0)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            waterfill(-1.0, [1.0])
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            waterfill(1.0, [-1.0])
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ValueError):
+            waterfill(1.0, np.ones((2, 2)))
+
+    def test_three_tier_progressive_fill(self):
+        alloc = waterfill(12.0, [2.0, 4.0, 100.0])
+        # level: 2 satisfied, 4 satisfied, rest (6) to the big one
+        assert np.allclose(alloc, [2.0, 4.0, 6.0])
+
+    @given(
+        capacity=st.floats(min_value=0.0, max_value=1e6),
+        demands=st.lists(
+            st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=40
+        ),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_property_feasible_and_work_conserving(self, capacity, demands):
+        alloc = waterfill(capacity, demands)
+        d = np.asarray(demands)
+        # never exceed individual demand
+        assert (alloc <= d + 1e-6).all()
+        assert (alloc >= -1e-12).all()
+        # work conserving: total = min(capacity, total demand)
+        assert np.isclose(
+            alloc.sum(), min(capacity, float(d.sum())), rtol=1e-6, atol=1e-6
+        )
+
+    @given(
+        capacity=st.floats(min_value=0.1, max_value=1e4),
+        demands=st.lists(
+            st.floats(min_value=0.01, max_value=1e4), min_size=2, max_size=20
+        ),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_property_max_min_fairness(self, capacity, demands):
+        """No unsatisfied connection gets less than any other connection's
+        allocation (the defining property of max-min fairness)."""
+        alloc = waterfill(capacity, demands)
+        d = np.asarray(demands)
+        unsat = alloc < d - 1e-9
+        if unsat.any():
+            floor = alloc[unsat].min()
+            assert (alloc <= floor + 1e-6).all()
+
+
+class TestAllocator:
+    def test_allocation_unknown_key_is_zero(self):
+        assert FairShareAllocator(10.0).allocation("nope") == 0.0
+
+    def test_single_connection_gets_min_of_demand_and_capacity(self):
+        alloc = FairShareAllocator(10.0)
+        alloc.set_demand("a", 4.0)
+        assert alloc.allocation("a") == 4.0
+        alloc.set_demand("b", 100.0)
+        assert alloc.allocation("b") == 6.0
+
+    def test_remove_frees_capacity(self):
+        alloc = FairShareAllocator(10.0)
+        alloc.set_demand("a", 100.0)
+        alloc.set_demand("b", 100.0)
+        assert alloc.allocation("a") == 5.0
+        alloc.remove("b")
+        assert alloc.allocation("a") == 10.0
+
+    def test_remove_missing_is_noop(self):
+        FairShareAllocator(1.0).remove("ghost")
+
+    def test_update_demand_recomputes(self):
+        alloc = FairShareAllocator(10.0)
+        alloc.set_demand("a", 100.0)
+        alloc.set_demand("b", 2.0)
+        assert np.isclose(alloc.allocation("a"), 8.0)
+        alloc.set_demand("b", 100.0)
+        assert np.isclose(alloc.allocation("a"), 5.0)
+
+    def test_allocations_snapshot(self):
+        alloc = FairShareAllocator(6.0)
+        alloc.set_demand("a", 100.0)
+        alloc.set_demand("b", 100.0)
+        snap = alloc.allocations()
+        assert set(snap) == {"a", "b"}
+        assert np.isclose(sum(snap.values()), 6.0)
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            FairShareAllocator(1.0).set_demand("a", -1.0)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FairShareAllocator(-5.0)
+
+    def test_n_connections(self):
+        alloc = FairShareAllocator(1.0)
+        alloc.set_demand("a", 1.0)
+        alloc.set_demand("b", 1.0)
+        assert alloc.n_connections == 2

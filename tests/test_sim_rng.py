@@ -1,0 +1,66 @@
+"""Unit tests for the seeded random-stream hub."""
+
+import numpy as np
+
+from repro.sim.rng import RngHub
+
+
+class TestStreams:
+    def test_same_name_returns_same_generator(self):
+        hub = RngHub(1)
+        assert hub.stream("a") is hub.stream("a")
+
+    def test_different_names_give_independent_sequences(self):
+        hub = RngHub(1)
+        a = hub.stream("a").random(100)
+        b = hub.stream("b").random(100)
+        assert not np.allclose(a, b)
+
+    def test_same_seed_reproduces_streams(self):
+        a = RngHub(7).stream("x").random(50)
+        b = RngHub(7).stream("x").random(50)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngHub(7).stream("x").random(50)
+        b = RngHub(8).stream("x").random(50)
+        assert not np.allclose(a, b)
+
+    def test_stream_independent_of_creation_order(self):
+        hub1 = RngHub(3)
+        hub1.stream("first")
+        x1 = hub1.stream("target").random(20)
+        hub2 = RngHub(3)
+        x2 = hub2.stream("target").random(20)  # created without "first"
+        assert np.allclose(x1, x2)
+
+    def test_draws_on_one_stream_do_not_affect_another(self):
+        hub1 = RngHub(3)
+        hub1.stream("noise").random(1000)
+        x1 = hub1.stream("target").random(20)
+        hub2 = RngHub(3)
+        x2 = hub2.stream("target").random(20)
+        assert np.allclose(x1, x2)
+
+    def test_seed_property(self):
+        assert RngHub(42).seed == 42
+
+
+class TestFork:
+    def test_fork_differs_from_parent(self):
+        hub = RngHub(5)
+        child = hub.fork(0)
+        a = hub.stream("s").random(30)
+        b = child.stream("s").random(30)
+        assert not np.allclose(a, b)
+
+    def test_forks_with_different_salts_differ(self):
+        hub = RngHub(5)
+        a = hub.fork(1).stream("s").random(30)
+        b = hub.fork(2).stream("s").random(30)
+        assert not np.allclose(a, b)
+
+    def test_fork_is_deterministic(self):
+        a = RngHub(5).fork(3).stream("s").random(30)
+        b = RngHub(5).fork(3).stream("s").random(30)
+        assert np.allclose(a, b)

@@ -1,0 +1,70 @@
+"""Unit and property tests for the log-string codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry.logstring import decode_log_string, encode_log_string
+
+
+class TestEncode:
+    def test_basic_format(self):
+        s = encode_log_string({"type": "act", "t": "1.5", "node": "7"})
+        assert s == "/log?type=act&t=1.5&node=7"
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            encode_log_string({})
+
+    def test_reserved_chars_in_values_escaped(self):
+        s = encode_log_string({"a": "x&y=z"})
+        assert "&y" not in s.split("?")[1].replace("%26", "")
+        assert decode_log_string(s) == {"a": "x&y=z"}
+
+    @pytest.mark.parametrize("bad", ["", "a=b", "a&b"])
+    def test_invalid_names_rejected(self, bad):
+        with pytest.raises(ValueError):
+            encode_log_string({bad: "v"})
+
+    def test_insertion_order_preserved(self):
+        s = encode_log_string({"b": "1", "a": "2"})
+        assert s.index("b=1") < s.index("a=2")
+
+
+class TestDecode:
+    def test_roundtrip_simple(self):
+        params = {"type": "qos", "ci": "0.98", "node": "42"}
+        assert decode_log_string(encode_log_string(params)) == params
+
+    def test_wrong_path_rejected(self):
+        with pytest.raises(ValueError):
+            decode_log_string("/stats?a=b")
+
+    def test_missing_query_rejected(self):
+        with pytest.raises(ValueError):
+            decode_log_string("/log")
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(ValueError):
+            decode_log_string("/log?")
+
+    def test_blank_values_kept(self):
+        assert decode_log_string("/log?a=") == {"a": ""}
+
+
+# printable text without characters that urlencode would lose in keys
+_value = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=0x2FF),
+    max_size=40,
+)
+_name = st.text(
+    alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz_0123456789"),
+    min_size=1, max_size=12,
+)
+
+
+class TestProperties:
+    @given(params=st.dictionaries(_name, _value, min_size=1, max_size=8))
+    @settings(max_examples=200, deadline=None)
+    def test_property_roundtrip(self, params):
+        assert decode_log_string(encode_log_string(params)) == params

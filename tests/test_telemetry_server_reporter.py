@@ -1,0 +1,150 @@
+"""Tests for the log server and the client-side reporter."""
+
+import io
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.telemetry.reporter import NodeReporter
+from repro.telemetry.reports import (
+    ActivityEvent,
+    ActivityReport,
+    PartnerOp,
+    PartnerReport,
+    QoSReport,
+    TrafficReport,
+)
+from repro.telemetry.server import LogEntry, LogServer
+
+
+def mk_status(now=0.0):
+    header = dict(time=now, node_id=1, user_id=1, session_id=1)
+    return (
+        QoSReport(**header, continuity=0.99),
+        TrafficReport(**header, bytes_up=1, bytes_down=2),
+        PartnerReport(**header),
+    )
+
+
+class TestLogServer:
+    def test_receive_valid_string(self):
+        server = LogServer()
+        assert server.receive(1.0, "/log?type=act&t=1&node=1&user=1&sess=1&ev=join")
+        assert len(server) == 1
+
+    def test_malformed_counted_not_stored(self):
+        server = LogServer()
+        assert not server.receive(1.0, "GET /favicon.ico")
+        assert len(server) == 0
+        assert server.malformed_count == 1
+
+    def test_reports_parse_in_arrival_order(self):
+        server = LogServer()
+        server.receive_report(2.0, mk_status()[0])
+        server.receive_report(1.0, mk_status()[1])
+        reports = list(server.reports())
+        assert isinstance(reports[0], QoSReport)
+        assert isinstance(reports[1], TrafficReport)
+
+    def test_reports_of_filters_type(self):
+        server = LogServer()
+        for r in mk_status():
+            server.receive_report(0.0, r)
+        assert len(list(server.reports_of(QoSReport))) == 1
+
+    def test_dump_load_roundtrip(self):
+        server = LogServer()
+        for r in mk_status():
+            server.receive_report(5.0, r)
+        text = server.dumps()
+        back = LogServer.loads(text)
+        assert len(back) == len(server)
+        assert [e.log_string for e in back.entries()] == [
+            e.log_string for e in server.entries()
+        ]
+
+    def test_dump_line_format(self):
+        entry = LogEntry(3.125, "/log?a=b")
+        assert entry.to_line() == "3.125 /log?a=b"
+        assert LogEntry.from_line(entry.to_line()) == entry
+
+    def test_load_skips_blank_lines(self):
+        back = LogServer.load(io.StringIO("\n1.0 /log?a=b\n\n"))
+        assert len(back) == 1
+
+    def test_merged_with_sorts_by_arrival(self):
+        a, b = LogServer(), LogServer()
+        a.receive(5.0, "/log?x=1")
+        b.receive(2.0, "/log?x=2")
+        merged = a.merged_with(b)
+        assert [e.arrival_time for e in merged.entries()] == [2.0, 5.0]
+
+
+class TestReporter:
+    def make(self, engine, server, period=300.0, delay=0.05):
+        return NodeReporter(
+            engine, server, node_id=1, user_id=2, session_id=3,
+            uplink_delay_s=delay, status_period_s=period,
+        )
+
+    def test_activity_arrives_after_uplink_delay(self):
+        engine, server = Engine(), LogServer()
+        rep = self.make(engine, server, delay=0.5)
+        rep.activity(ActivityEvent.JOIN)
+        assert len(server) == 0
+        engine.run(until=1.0)
+        assert len(server) == 1
+        assert server.entries()[0].arrival_time == pytest.approx(0.5)
+
+    def test_status_cadence(self):
+        engine, server = Engine(), LogServer()
+        rep = self.make(engine, server, period=100.0)
+        rep.install_status_provider(lambda: mk_status(engine.now))
+        engine.run(until=350.0)
+        # three firings x three reports each
+        assert len(server) == 9
+
+    def test_leave_closes_reporter(self):
+        engine, server = Engine(), LogServer()
+        rep = self.make(engine, server, period=100.0)
+        rep.install_status_provider(lambda: mk_status(engine.now))
+        engine.schedule(150.0, lambda: rep.activity(ActivityEvent.LEAVE))
+        engine.run(until=500.0)
+        # one status firing (t=100) + leave activity; nothing after close
+        types = [type(r).__name__ for r in server.reports()]
+        assert types.count("QoSReport") == 1
+        assert types.count("ActivityReport") == 1
+
+    def test_silent_close_loses_pending_window(self):
+        """The Section V.D artefact: whatever happened since the last
+        5-minute report never reaches the server after an abrupt death."""
+        engine, server = Engine(), LogServer()
+        rep = self.make(engine, server, period=300.0)
+        rep.install_status_provider(lambda: mk_status(engine.now))
+        engine.schedule(299.0, lambda: rep.close(silent=True))
+        engine.run(until=1000.0)
+        assert len(list(server.reports_of(QoSReport))) == 0
+
+    def test_partner_event_buffer_drains(self):
+        engine, server = Engine(), LogServer()
+        rep = self.make(engine, server)
+        rep.record_partner_event(PartnerOp.ADD, 9, incoming=True)
+        rep.record_partner_event(PartnerOp.DROP, 9, incoming=True)
+        events = rep.drain_partner_events()
+        assert len(events) == 2
+        assert rep.drain_partner_events() == ()
+
+    def test_no_events_recorded_after_close(self):
+        engine, server = Engine(), LogServer()
+        rep = self.make(engine, server)
+        rep.close(silent=True)
+        rep.record_partner_event(PartnerOp.ADD, 9, incoming=False)
+        assert rep.drain_partner_events() == ()
+
+    def test_activity_after_close_is_dropped(self):
+        engine, server = Engine(), LogServer()
+        rep = self.make(engine, server)
+        rep.close(silent=True)
+        rep.activity(ActivityEvent.LEAVE)
+        engine.run(until=10.0)
+        assert len(server) == 0
