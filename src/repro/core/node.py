@@ -36,6 +36,8 @@ from repro.core.partnership import Direction, PartnershipManager
 from repro.core.pull import PullRequest, PullRequester, PullScheduler
 from repro.core.stream import PlaybackState, SubscriptionConn, UploadScheduler
 from repro.network.connectivity import ConnectivityClass, can_establish
+from repro.obs import context as _obs_context
+from repro.obs import inc as _obs_inc
 from repro.sim.engine import PeriodicTask
 from repro.telemetry.reports import (
     ActivityEvent,
@@ -198,6 +200,7 @@ class PeerNode:
         self.state = NodeState.JOINING
         self.system.latency.register(self.node_id, self.system.rng.stream("latency"))
         self.reporter.activity(ActivityEvent.JOIN, attempt=self.attempt)
+        _obs_inc("core.sessions_started")
         self.system.bootstrap.register(self.self_entry())
         self._start_tasks()
         self.system.bootstrap.request_list(self)
@@ -250,6 +253,8 @@ class PeerNode:
                                    reason=reason)
         self.system.bootstrap.unregister(self.node_id)
         self.system.on_node_left(self)
+        _obs_inc("core.sessions_ended")
+        _obs_inc(f"core.sessions_ended.{reason.name.lower()}")
         if self.on_session_end is not None:
             self.on_session_end(self)
 
@@ -280,6 +285,10 @@ class PeerNode:
         peer = self.system.get_node(target)
         if peer is not None and peer.alive:
             peer.rpc_gossip(self.node_id, payload)
+            ctx = _obs_context.current()
+            if ctx is not None:
+                ctx.registry.counter("core.gossip_messages").inc()
+                ctx.registry.counter("core.gossip_entries").inc(len(payload))
 
     # ------------------------------------------------------------------
     # partnership establishment
@@ -336,6 +345,7 @@ class PeerNode:
             self.partners.add(from_id, Direction.INCOMING, self.engine.now, entry)
             self.mcache.insert(entry, self.engine.now, self._rng)
             self.reporter.record_partner_event(PartnerOp.ADD, from_id, incoming=True)
+            _obs_inc("core.partnerships_formed")
         self.system.rpc(
             self.node_id, from_id, "rpc_partner_reply",
             self.node_id, accept, self._own_bm() if accept else None,
@@ -364,6 +374,7 @@ class PeerNode:
         if entry is not None:
             self.mcache.insert(entry, self.engine.now, self._rng)
         self.reporter.record_partner_event(PartnerOp.ADD, from_id, incoming=False)
+        _obs_inc("core.partnerships_formed")
         # answer with our own BM so both sides can select parents
         self.system.rpc(self.node_id, from_id, "rpc_bm_update",
                         self.node_id, self._own_bm())
@@ -382,6 +393,7 @@ class PeerNode:
         self.reporter.record_partner_event(
             PartnerOp.DROP, partner_id, incoming=(state.direction is Direction.INCOMING)
         )
+        _obs_inc("core.partnerships_dropped")
         self.scheduler.drop_child(partner_id)
         if self.pull_sched is not None:
             self.pull_sched.drop_child(partner_id)
@@ -411,11 +423,15 @@ class PeerNode:
     def _broadcast_bm(self) -> None:
         bm = self._own_bm()
         now = self.engine.now
+        sent = 0
         for pid in self.partners.ids():
             peer = self.system.get_node(pid)
             if peer is not None and peer.alive:
                 # synchronous apply: BM latency << exchange period
                 peer.rpc_bm_update(self.node_id, bm)
+                sent += 1
+        if sent:
+            _obs_inc("core.bm_exchanges", sent)
 
     # ------------------------------------------------------------------
     # joining: offset choice and initial subscription
@@ -514,8 +530,10 @@ class PeerNode:
             self.node_id, chosen.node_id, "rpc_subscribe",
             self.node_id, substream, from_index,
         )
+        _obs_inc("core.parent_switches")
         if not initial:
             self.adaptation_count += 1
+            _obs_inc("core.adaptations")
             if not force:
                 self.cooldown.fire(self.engine.now)
         return True
@@ -677,6 +695,13 @@ class PeerNode:
             self.scheduler.deliver(
                 dt, self.heads, self.cache.oldest_available, self._push
             )
+            ctx = _obs_context.current()
+            if ctx is not None:
+                kind = "server" if self.is_server else "peer"
+                reg = ctx.registry
+                reg.counter(f"core.upload_quanta.{kind}").inc()
+                if self.scheduler.last_saturated:
+                    reg.counter(f"core.upload_saturated_quanta.{kind}").inc()
         if self.pull_sched is not None and self.pull_sched.busy_children:
             self.pull_sched.deliver(
                 dt, self.heads, self.cache.oldest_available, self._pull_push

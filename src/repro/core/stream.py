@@ -75,6 +75,10 @@ class UploadScheduler:
         self._block_bits = float(block_bits)
         self._conns: Dict[Tuple[int, int], SubscriptionConn] = {}
         self.bits_uploaded = 0.0
+        # observability: whether the last delivery quantum was demand-
+        # constrained (the water-fill ran).  A plain flag so the obs layer
+        # can count saturation without touching this hot loop.
+        self.last_saturated = False
 
     # --- subscription management ------------------------------------------
     def subscribe(self, child_id: int, substream: int, from_index: int,
@@ -162,8 +166,10 @@ class UploadScheduler:
         # and for contributor peers most of the time)
         if sum(demands) <= self.upload_bps:
             rates = demands
+            self.last_saturated = False
         else:
             rates = waterfill(self.upload_bps, demands)
+            self.last_saturated = True
         bits_this_quantum = 0.0
         for conn, rate in zip(conns, rates):
             head = parent_heads[conn.substream]

@@ -23,6 +23,7 @@ from repro.core.source import (
 from repro.network.capacity import CapacityModel
 from repro.network.connectivity import ConnectivityClass, ConnectivityMix
 from repro.network.latency import LatencyModel
+from repro.obs import context as _obs_context
 from repro.sim.engine import Engine
 from repro.sim.rng import RngHub
 from repro.telemetry.reporter import NodeReporter
@@ -99,6 +100,16 @@ class CoolstreamingSystem:
         self.capacity = capacity_model or CapacityModel()
         self.mix = connectivity_mix or ConnectivityMix()
         self.log = log_server or LogServer()
+
+        # observability: record provenance in the active session's manifest
+        # and give the progress heartbeat a live-peer-count view
+        _ctx = _obs_context.current()
+        if _ctx is not None:
+            _ctx.note_seed(seed)
+            _ctx.note_config(self.cfg)
+            if (_ctx.progress is not None
+                    and _ctx.progress.live_peers_fn is None):
+                _ctx.progress.live_peers_fn = lambda: self.concurrent_users
 
         self._nodes: Dict[int, object] = {}
         # id bases keep node/session ids disjoint across co-hosted systems

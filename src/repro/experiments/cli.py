@@ -11,15 +11,29 @@ Usage::
 
 Each command runs the corresponding experiment at the default benchmark
 scale and prints the rendered tables/series.
+
+Observability (any subcommand)::
+
+    python -m repro fig6 --metrics-out m.jsonl --trace-out t.json --progress
+
+``--metrics-out`` streams registry snapshots as JSONL and writes a run
+manifest sidecar (``m.manifest.json``: seed, config hash, git rev, wall
+time, peak RSS); ``--trace-out`` writes Chrome ``trace_event`` JSON
+loadable in Perfetto; ``--progress`` prints a heartbeat line to stderr.
+
+Exit codes: 0 success, 1 experiment error (one-line message on stderr),
+2 usage error (unknown experiment name).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import time
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
+import repro.obs as obs
 from repro.experiments import (
     fig3_user_types_and_contribution,
     fig4_overlay_structure,
@@ -68,13 +82,28 @@ ABLATIONS: Dict[str, Callable] = {
 }
 
 
-def _run_one(name: str, fn: Callable, seed: int) -> None:
+def _run_one(name: str, fn: Callable, seed: int, *, quiet: bool = False) -> None:
     t0 = time.perf_counter()
     result = fn(seed)
     elapsed = time.perf_counter() - t0
-    print(result.render())
-    print(f"[{name}: {elapsed:.1f} s]")
-    print()
+    if not quiet:
+        print(result.render())
+        print(f"[{name}: {elapsed:.1f} s]")
+        print()
+
+
+def _obs_session(args, scenario: str):
+    """The observability session for this invocation (a null context when
+    no obs flag was given)."""
+    if not (args.metrics_out or args.trace_out or args.progress):
+        return contextlib.nullcontext()
+    return obs.session(
+        metrics_path=args.metrics_out,
+        trace_path=args.trace_out,
+        progress=args.progress,
+        scenario=scenario,
+        seed=args.seed,
+    )
 
 
 def main(argv=None) -> int:
@@ -90,29 +119,46 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0,
                         help="root random seed (default 0)")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write a JSONL metrics time series (plus a "
+                             "*.manifest.json run manifest sidecar)")
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="write a Chrome trace_event JSON file "
+                             "(open in chrome://tracing or Perfetto)")
+    parser.add_argument("--progress", action="store_true",
+                        help="print a periodic heartbeat line to stderr")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress rendered tables/series on stdout")
     args = parser.parse_args(argv)
 
-    if args.experiment == "list":
-        for name in EXPERIMENTS:
-            print(name)
+    name = args.experiment
+    if name == "list":
+        for key in EXPERIMENTS:
+            print(key)
         print("ablations")
         print("all")
         return 0
 
-    if args.experiment == "all":
-        for name, fn in EXPERIMENTS.items():
-            _run_one(name, fn, args.seed)
-        return 0
-
-    if args.experiment == "ablations":
-        for name, fn in ABLATIONS.items():
-            _run_one(name, lambda seed, f=fn: f(seed=seed), args.seed)
-        return 0
-
-    fn = EXPERIMENTS.get(args.experiment)
-    if fn is None:
-        print(f"unknown experiment {args.experiment!r}; "
+    if name not in EXPERIMENTS and name not in ("all", "ablations"):
+        print(f"error: unknown experiment {name!r}; "
               f"try 'python -m repro list'", file=sys.stderr)
         return 2
-    _run_one(args.experiment, fn, args.seed)
+
+    try:
+        with _obs_session(args, scenario=name):
+            if name == "all":
+                for key, fn in EXPERIMENTS.items():
+                    _run_one(key, fn, args.seed, quiet=args.quiet)
+            elif name == "ablations":
+                for key, fn in ABLATIONS.items():
+                    _run_one(key, lambda seed, f=fn: f(seed=seed), args.seed,
+                             quiet=args.quiet)
+            else:
+                _run_one(name, EXPERIMENTS[name], args.seed, quiet=args.quiet)
+    except KeyboardInterrupt:
+        print("error: interrupted", file=sys.stderr)
+        return 130
+    except Exception as exc:
+        print(f"error: {name}: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
     return 0

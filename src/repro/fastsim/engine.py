@@ -31,11 +31,13 @@ One step of length ``dt``:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.config import SystemConfig
+from repro.obs import context as _obs_context
 from repro.network.capacity import CapacityModel
 from repro.network.connectivity import ConnectivityClass, ConnectivityMix
 from repro.sim.rng import RngHub
@@ -110,6 +112,18 @@ class FastSimulation:
         self.now = 0.0
         self.steps_run = 0
 
+        # observability: auto-attach to an active repro.obs session; the
+        # step keeps a single ``is None`` guard per instrumented block, so
+        # a disabled run executes no metrics code at all
+        self._obs = _obs_context.current()
+        if self._obs is not None:
+            self._obs.note_seed(seed)
+            self._obs.note_config(self.cfg)
+            self._obs.note_config(self.fast)
+            if (self._obs.progress is not None
+                    and self._obs.progress.live_peers_fn is None):
+                self._obs.progress.live_peers_fn = lambda: self.concurrent_users
+
         k = self.cfg.n_substreams
         n0 = max(64, int(capacity_hint))
         self._cap = n0
@@ -161,6 +175,19 @@ class FastSimulation:
         # --- infrastructure slots --------------------------------------------
         self.n_servers = self.cfg.n_servers
         self._setup_servers()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def attach_obs(self, ctx) -> None:
+        """Attach an observability context explicitly (double-attach guarded)."""
+        if self._obs is not None:
+            raise RuntimeError("fastsim is already instrumented")
+        self._obs = ctx
+
+    def detach_obs(self) -> None:
+        """Remove instrumentation from this simulation."""
+        self._obs = None
 
     # ------------------------------------------------------------------
     # setup helpers
@@ -294,6 +321,8 @@ class FastSimulation:
         self._next_session += 1
         self.sessions_spawned += 1
         self._activity(slot, ActivityEvent.JOIN)
+        if self._obs is not None:
+            self._obs.registry.counter("fastsim.joins").inc()
         return slot
 
     def _leave(self, slot: int, reason: LeaveReason, *, silent: bool = False,
@@ -311,6 +340,10 @@ class FastSimulation:
         self.children[slot] = 0
         uid = int(self.user_id[slot])
         att = int(self.attempt[slot])
+        if self._obs is not None:
+            reg = self._obs.registry
+            reg.counter("fastsim.leaves").inc()
+            reg.counter(f"fastsim.leaves.{reason.name.lower()}").inc()
         if not silent:
             self._activity(slot, ActivityEvent.LEAVE, reason)
         self.state[slot] = _EMPTY
@@ -400,6 +433,8 @@ class FastSimulation:
             if int(self.cls[choice]) in _CONTRIBUTOR:
                 self.ever_incoming[choice] = True
             filled += 1
+        if filled and self._obs is not None:
+            self._obs.registry.counter("fastsim.parent_selections").inc(filled)
         return filled
 
     # ------------------------------------------------------------------
@@ -407,6 +442,8 @@ class FastSimulation:
     # ------------------------------------------------------------------
     def step(self) -> None:
         """Advance the simulation by one time step."""
+        _obs = self._obs
+        _t0 = perf_counter() if _obs is not None else 0.0
         dt = self.fast.dt
         cfg = self.cfg
         k = self.k
@@ -586,8 +623,16 @@ class FastSimulation:
             ineq2_bad = (local_best[:, None] - phead) >= cfg.tp_seconds
             ineq2_bad &= has_parent
             need_fix = (lag_bad & has_parent) | parent_dead | ineq2_bad | ~has_parent
+            if _obs is not None:
+                reg = _obs.registry
+                reg.counter("fastsim.ineq1_violations").inc(
+                    int((lag_bad & has_parent).sum())
+                )
+                reg.counter("fastsim.ineq2_violations").inc(int(ineq2_bad.sum()))
+                reg.counter("fastsim.dead_parent_links").inc(int(parent_dead.sum()))
             rows_fix = np.nonzero(need_fix.any(axis=1))[0]
             if rows_fix.size:
+                adaptations = 0
                 for r in rows_fix:
                     slot = int(act[r])
                     forced = bool((parent_dead[r] | ~has_parent[r]).any())
@@ -608,8 +653,11 @@ class FastSimulation:
                             self.children[p] -= 1
                             self.parent[slot, sub] = -1
                     got = self._try_select_parents(slot, [int(s) for s in subs], pool)
+                    adaptations += 1
                     if got < len(subs):
                         self.next_try[slot] = now + cfg.bm_exchange_period_s
+                if _obs is not None and adaptations:
+                    _obs.registry.counter("fastsim.adaptations").inc(adaptations)
 
         # 8. departures ----------------------------------------------------------------
         active_or_joining = self.state != _EMPTY
@@ -666,6 +714,20 @@ class FastSimulation:
 
         self.now = now + dt
         self.steps_run += 1
+        if _obs is not None:
+            dur = perf_counter() - _t0
+            reg = _obs.registry
+            reg.counter("fastsim.steps").inc()
+            reg.counter("fastsim.peers_stepped").inc(int(active.sum()))
+            reg.timer("fastsim.step_s").observe(dur)
+            live = self.concurrent_users
+            reg.gauge("fastsim.live_peers").set(live)
+            reg.gauge("fastsim.live_peers_max").max(live)
+            if _obs.trace is not None:
+                _obs.trace.complete("fastsim.step", _obs.trace.rel_us(_t0),
+                                    dur * 1e6, cat="fastsim", sim_time=self.now)
+            if _obs.progress is not None:
+                _obs.progress.maybe_beat(self.now, self.steps_run, "steps")
 
     def _send_status(self, slot: int) -> None:
         cfg = self.cfg

@@ -1,0 +1,58 @@
+"""Exporters: JSONL time series and Prometheus text format.
+
+The Chrome-trace exporter lives on :class:`~repro.obs.trace.TraceCollector`
+itself (the collector owns the buffered events); this module handles the
+registry-shaped outputs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry, render_prometheus
+
+__all__ = ["JsonlMetricsWriter", "write_prometheus"]
+
+
+class JsonlMetricsWriter:
+    """Append-mode JSONL sink for registry snapshots.
+
+    Each line is ``{"t_wall": <unix>, "t_sim": <sim s>, "metrics": {...}}``;
+    repeated snapshots during a run (driven by the progress heartbeat) form
+    a machine-readable time series of every counter/gauge/histogram.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self.lines_written = 0
+
+    def snapshot(self, registry: MetricsRegistry,
+                 sim_time: Optional[float] = None) -> None:
+        """Append one snapshot line."""
+        if self._fh.closed:
+            return
+        line = {
+            "t_wall": time.time(),
+            "t_sim": sim_time,
+            "metrics": registry.snapshot(),
+        }
+        self._fh.write(json.dumps(line) + "\n")
+        self._fh.flush()
+        self.lines_written += 1
+
+    def close(self) -> None:
+        """Flush and close the stream.  Idempotent."""
+        if not self._fh.closed:
+            self._fh.close()
+
+
+def write_prometheus(registry: MetricsRegistry, path) -> Path:
+    """Write the registry in Prometheus text exposition format."""
+    p = Path(path)
+    with open(p, "w", encoding="utf-8") as fh:
+        fh.write(render_prometheus(registry))
+    return p

@@ -1,0 +1,136 @@
+"""Run manifests: the reproducibility sidecar of every observed run.
+
+A manifest records everything needed to audit or re-run an experiment:
+seed, a stable hash of every :class:`~repro.core.config.SystemConfig`
+involved, the scenario/experiment name, the git revision of the code, the
+wall time spent and the peak RSS of the process.  It is written alongside
+the metrics stream (``m.jsonl`` -> ``m.manifest.json``) so a directory of
+results is self-describing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "config_fingerprint",
+    "git_revision",
+    "peak_rss_bytes",
+    "manifest_path_for",
+    "RunManifest",
+]
+
+
+def config_fingerprint(cfg: Any) -> str:
+    """Stable short hash of a config object.
+
+    Dataclasses are hashed over their sorted field dict; other objects over
+    ``repr``.  Two configs with equal fields always hash equal, across
+    processes and python versions.
+    """
+    if dataclasses.is_dataclass(cfg) and not isinstance(cfg, type):
+        payload = json.dumps(
+            dataclasses.asdict(cfg), sort_keys=True, default=str
+        )
+    else:
+        payload = repr(cfg)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def git_revision(cwd: Optional[Path] = None) -> Optional[str]:
+    """Current git commit hash, or None outside a repo / without git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(cwd) if cwd else None,
+            capture_output=True, text=True, timeout=5.0,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """Peak resident set size of this process in bytes (None if unknown)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS
+    return int(rss) * (1 if sys.platform == "darwin" else 1024)
+
+
+def manifest_path_for(output_path) -> Path:
+    """Sidecar manifest path for a metrics/trace output file
+    (``m.jsonl`` -> ``m.manifest.json``)."""
+    p = Path(output_path)
+    return p.with_suffix(".manifest.json") if p.suffix else p.with_name(
+        p.name + ".manifest.json"
+    )
+
+
+class RunManifest:
+    """Mutable collector for one run's provenance record."""
+
+    def __init__(self, *, scenario: Optional[str] = None,
+                 seed: Optional[int] = None) -> None:
+        self._t0 = time.time()
+        self._p0 = time.perf_counter()
+        self.scenario = scenario
+        self.seed = seed
+        self.config_hashes: list[str] = []
+        self.extra: Dict[str, Any] = {}
+
+    # --- collection -------------------------------------------------------
+    def note_config(self, cfg: Any) -> str:
+        """Record (deduplicated) the fingerprint of a config object."""
+        fp = config_fingerprint(cfg)
+        if fp not in self.config_hashes:
+            self.config_hashes.append(fp)
+        return fp
+
+    def note_seed(self, seed: int) -> None:
+        """Record the run's root seed (first writer wins)."""
+        if self.seed is None:
+            self.seed = int(seed)
+
+    def note(self, key: str, value: Any) -> None:
+        """Attach an arbitrary JSON-serialisable fact."""
+        self.extra[key] = value
+
+    # --- output -----------------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        """Finalized manifest content (wall time / RSS sampled now)."""
+        out: Dict[str, Any] = {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "config_hash": self.config_hashes[0] if self.config_hashes else None,
+            "config_hashes": list(self.config_hashes),
+            "git_rev": git_revision(),
+            "started_at_unix": self._t0,
+            "wall_time_s": time.perf_counter() - self._p0,
+            "peak_rss_bytes": peak_rss_bytes(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "argv": list(sys.argv),
+        }
+        out.update(self.extra)
+        return out
+
+    def write(self, path) -> Path:
+        """Serialise the manifest to ``path``; returns the path."""
+        p = Path(path)
+        with open(p, "w", encoding="utf-8") as fh:
+            json.dump(self.as_dict(), fh, indent=2, default=str)
+            fh.write("\n")
+        return p

@@ -15,7 +15,10 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from time import perf_counter
 from typing import Any, Callable, Optional
+
+from repro.obs import context as _obs_context
 
 __all__ = ["Engine", "Event", "PeriodicTask", "SimulationError"]
 
@@ -83,6 +86,11 @@ class Engine:
         self._running = False
         self._stopped = False
         self.events_processed = 0
+        self.events_cancelled = 0
+        # observability: engines created inside an active repro.obs session
+        # attach automatically; otherwise the kernel keeps its original,
+        # instrumentation-free loop (the disabled fast path)
+        self._obs = _obs_context.current()
 
     # ------------------------------------------------------------------
     # clock & introspection
@@ -129,6 +137,24 @@ class Engine:
         return self.schedule(0.0, fn)
 
     # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def attach_obs(self, ctx) -> None:
+        """Attach an observability context explicitly.
+
+        Guarded against double-instrumentation: attaching twice would run
+        the observed loop with stale pre-fetched metrics and double-count
+        trace events, so it raises instead.
+        """
+        if self._obs is not None:
+            raise SimulationError("engine is already instrumented")
+        self._obs = ctx
+
+    def detach_obs(self) -> None:
+        """Remove instrumentation; the kernel reverts to the plain loop."""
+        self._obs = None
+
+    # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
@@ -143,28 +169,94 @@ class Engine:
             raise SimulationError("engine is already running")
         self._running = True
         self._stopped = False
-        fired = 0
         try:
-            while self._heap:
-                ev = self._heap[0]
-                if ev.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until is not None and ev.time > until:
-                    break
-                if max_events is not None and fired >= max_events:
-                    break
-                heapq.heappop(self._heap)
-                self._now = ev.time
-                ev.fn()
-                fired += 1
-                self.events_processed += 1
-                if self._stopped:
-                    break
+            if self._obs is None:
+                self._loop(until, max_events)
+            else:
+                self._loop_observed(until, max_events)
         finally:
             self._running = False
         if until is not None and not self._stopped and self._now < until:
             self._now = until
+
+    def _loop(self, until: Optional[float], max_events: Optional[int]) -> None:
+        """The original instrumentation-free hot loop (disabled fast path:
+        observability adds exactly one ``is None`` dispatch per ``run()``
+        call, nothing per event)."""
+        fired = 0
+        while self._heap:
+            ev = self._heap[0]
+            if ev.cancelled:
+                heapq.heappop(self._heap)
+                self.events_cancelled += 1
+                continue
+            if until is not None and ev.time > until:
+                break
+            if max_events is not None and fired >= max_events:
+                break
+            heapq.heappop(self._heap)
+            self._now = ev.time
+            ev.fn()
+            fired += 1
+            self.events_processed += 1
+            if self._stopped:
+                break
+
+    def _loop_observed(self, until: Optional[float], max_events: Optional[int]) -> None:
+        """Instrumented twin of :meth:`_loop`.
+
+        Adds per-event counters, a heap-depth gauge, per-callback-site
+        wall-time timers, Chrome trace spans and the progress heartbeat.
+        Simulation behaviour (event order, clock, RNG) is bit-identical to
+        the plain loop: instrumentation only reads.
+        """
+        ctx = self._obs
+        reg = ctx.registry
+        trace = ctx.trace
+        progress = ctx.progress
+        c_exec = reg.counter("engine.events_executed")
+        c_cancel = reg.counter("engine.events_cancelled")
+        g_heap = reg.gauge("engine.heap_depth")
+        g_heap_max = reg.gauge("engine.heap_depth_max")
+        site_timers: dict = {}
+        fired = 0
+        heap = self._heap
+        while heap:
+            ev = heap[0]
+            if ev.cancelled:
+                heapq.heappop(heap)
+                self.events_cancelled += 1
+                c_cancel.inc()
+                continue
+            if until is not None and ev.time > until:
+                break
+            if max_events is not None and fired >= max_events:
+                break
+            heapq.heappop(heap)
+            self._now = ev.time
+            fn = ev.fn
+            t0 = perf_counter()
+            fn()
+            dur = perf_counter() - t0
+            fired += 1
+            self.events_processed += 1
+            c_exec.inc()
+            depth = len(heap)
+            g_heap.set(depth)
+            g_heap_max.max(depth)
+            site = getattr(fn, "__qualname__", None) or type(fn).__name__
+            timer = site_timers.get(site)
+            if timer is None:
+                timer = reg.timer(f"engine.callback.{site}")
+                site_timers[site] = timer
+            timer.observe(dur)
+            if trace is not None:
+                trace.complete(site, trace.rel_us(t0), dur * 1e6,
+                               cat="engine", sim_time=self._now)
+            if progress is not None and not (fired & 0x3FF):
+                progress.maybe_beat(self._now, self.events_processed)
+            if self._stopped:
+                break
 
     def stop(self) -> None:
         """Stop the loop after the current callback returns."""

@@ -117,6 +117,11 @@ class NodeReporter:
         """Ship an activity report immediately (plus uplink delay)."""
         if self._closed:
             return
+        if event is ActivityEvent.LEAVE:
+            # Graceful shutdown flushes the partial status window first so
+            # the server sees the session's last minutes (an abrupt FAILURE
+            # still loses them -- see the module docstring).
+            self._send_status()
         report = ActivityReport(
             time=self._engine.now, node_id=self.node_id, user_id=self.user_id,
             session_id=self.session_id, event=event, attempt=attempt,

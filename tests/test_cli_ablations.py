@@ -1,5 +1,7 @@
 """Tests for the CLI and the ablation helpers."""
 
+import json
+
 import pytest
 
 from repro.experiments.cli import ABLATIONS, EXPERIMENTS, main
@@ -32,6 +34,42 @@ class TestCli:
             "offset", "parent-choice", "mcache", "cooldown", "substreams",
             "delivery-mode",
         }
+
+    def test_unknown_experiment_prints_one_line_error(self, capsys):
+        assert main(["figure99"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_experiment_exception_exits_one_without_traceback(
+            self, capsys, monkeypatch):
+        def boom(seed):
+            raise RuntimeError("synthetic failure")
+        monkeypatch.setitem(EXPERIMENTS, "boom", boom)
+        assert main(["boom"]) == 1
+        err = capsys.readouterr().err
+        assert "error: boom: RuntimeError: synthetic failure" in err
+        assert "Traceback" not in err
+
+    def test_quiet_suppresses_tables(self, capsys):
+        assert main(["table1", "--quiet"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_metrics_out_writes_series_and_manifest(self, tmp_path, capsys):
+        metrics = tmp_path / "m.jsonl"
+        assert main(["table1", "--quiet",
+                     "--metrics-out", str(metrics), "--seed", "3"]) == 0
+        lines = [json.loads(l) for l in metrics.read_text().splitlines()]
+        assert lines  # at least the final snapshot
+        manifest = json.loads((tmp_path / "m.manifest.json").read_text())
+        assert manifest["scenario"] == "table1"
+        assert manifest["seed"] == 3
+
+    def test_trace_out_writes_chrome_trace(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        assert main(["model", "--quiet", "--trace-out", str(trace)]) == 0
+        data = json.loads(trace.read_text())
+        assert "traceEvents" in data
 
 
 class TestRunVariant:

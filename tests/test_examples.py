@@ -48,6 +48,13 @@ def test_broadcast_event():
     assert "steady continuity" in out
 
 
+def test_observed_run():
+    out = run_example("observed_run.py", timeout=600)
+    assert "protocol hot-spot counters" in out
+    assert "Chrome trace" in out
+    assert "config_hash=" in out
+
+
 def test_multichannel_evening():
     out = run_example("multichannel_evening.py", timeout=600)
     assert "platform total" in out

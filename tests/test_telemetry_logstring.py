@@ -68,3 +68,52 @@ class TestProperties:
     @settings(max_examples=200, deadline=None)
     def test_property_roundtrip(self, params):
         assert decode_log_string(encode_log_string(params)) == params
+
+
+class TestEdgeCases:
+    """Round-trips that have historically broken naive URL codecs."""
+
+    def test_empty_value_roundtrip(self):
+        params = {"reason": "", "node": "1"}
+        assert decode_log_string(encode_log_string(params)) == params
+
+    def test_all_values_empty(self):
+        params = {"a": "", "b": ""}
+        assert decode_log_string(encode_log_string(params)) == params
+
+    @pytest.mark.parametrize("value", [
+        "a&b", "a=b", "a&b=c&d", "&&", "==", "&=&=",
+        "k1=v1&k2=v2",          # a value that *looks like* a query string
+        "100%", "%26", "a+b",   # percent/plus must not double-decode
+        " leading and trailing ",
+    ])
+    def test_reserved_chars_roundtrip(self, value):
+        params = {"v": value}
+        assert decode_log_string(encode_log_string(params)) == params
+
+    @pytest.mark.parametrize("value", [
+        "中文",             # CJK
+        "café",                # latin-1 supplement
+        "Ж",                   # cyrillic
+        "emoji \U0001f600 ok",      # astral plane
+        "mixed&中=文",      # unicode plus reserved chars
+    ])
+    def test_unicode_roundtrip(self, value):
+        params = {"v": value}
+        assert decode_log_string(encode_log_string(params)) == params
+
+    @pytest.mark.parametrize("x", [
+        0.1, 1 / 3, 2 ** -52, 1e-300, 1e300, 123456789.123456789,
+        float("inf"), -0.0,
+    ])
+    def test_float_precision_survives(self, x):
+        # clients stringify floats with repr(); the codec must hand back
+        # the exact same string so the parse recovers the exact float
+        s = encode_log_string({"ci": repr(x)})
+        decoded = decode_log_string(s)["ci"]
+        assert decoded == repr(x)
+        assert float(decoded) == x or (x != x and decoded != decoded)
+
+    def test_long_multiparam_roundtrip(self):
+        params = {f"k{i}": f"v&{i}=x é" for i in range(50)}
+        assert decode_log_string(encode_log_string(params)) == params

@@ -110,10 +110,26 @@ class TestReporter:
         rep.install_status_provider(lambda: mk_status(engine.now))
         engine.schedule(150.0, lambda: rep.activity(ActivityEvent.LEAVE))
         engine.run(until=500.0)
-        # one status firing (t=100) + leave activity; nothing after close
+        # one status firing (t=100) + the final flush at leave (t=150)
+        # + the leave activity itself; nothing after close
         types = [type(r).__name__ for r in server.reports()]
-        assert types.count("QoSReport") == 1
+        assert types.count("QoSReport") == 2
         assert types.count("ActivityReport") == 1
+
+    def test_leave_flushes_final_status_before_leave_report(self):
+        """A graceful leave ships the partial status window so the
+        session's last minutes reach the server (unlike a FAILURE)."""
+        engine, server = Engine(), LogServer()
+        rep = self.make(engine, server, period=300.0)
+        rep.install_status_provider(lambda: mk_status(engine.now))
+        engine.schedule(150.0, lambda: rep.activity(ActivityEvent.LEAVE))
+        engine.run(until=1000.0)
+        types = [type(r).__name__ for r in server.reports()]
+        # the cadence never fired (period 300 > leave at 150), yet the
+        # status triple is present -- and it precedes the leave report
+        assert types == [
+            "QoSReport", "TrafficReport", "PartnerReport", "ActivityReport",
+        ]
 
     def test_silent_close_loses_pending_window(self):
         """The Section V.D artefact: whatever happened since the last
