@@ -1,0 +1,102 @@
+"""Campaign orchestrator benchmarks: jobs-vs-wall-clock speedup + cache.
+
+An 8-run seed sweep of a Fig. 9a micro-point is executed at ``jobs=1``
+(the in-process reference) and ``jobs=4`` (worker pool); the acceptance
+target is a >=2x wall-clock speedup at 4 workers, which requires >=4
+usable CPUs — on smaller hosts the measured ratio is still recorded but
+not asserted.  A second invocation against the same store must complete
+entirely from the content-addressed cache (0 runs executed).
+
+Key figures are written to ``benchmarks/BENCH_campaign.json`` so CI and
+regression tooling can diff them across revisions.
+"""
+
+import json
+import os
+import platform
+from pathlib import Path
+from time import perf_counter
+
+import pytest
+
+from repro.campaign import ResultStore, run_campaign, sweep
+
+BENCH_JSON = Path(__file__).resolve().parent / "BENCH_campaign.json"
+
+N_RUNS = 8
+PARALLEL_JOBS = 4
+SWEEP_KWARGS = dict(n_users=400, horizon_s=400.0)
+
+_RESULTS = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_bench_json():
+    yield
+    if _RESULTS:
+        payload = {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+            "results": dict(sorted(_RESULTS.items())),
+        }
+        BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def _seed_sweep():
+    return sweep("fig9_size", seeds=list(range(N_RUNS)),
+                 overrides=SWEEP_KWARGS, name="bench-seed-sweep",
+                 code_version=None)
+
+
+def test_jobs4_speedup_over_jobs1(tmp_path):
+    """8-run seed sweep: jobs=4 vs jobs=1 wall clock (>=2x on >=4 CPUs)."""
+    t0 = perf_counter()
+    seq = run_campaign(_seed_sweep(), ResultStore(tmp_path / "seq"), jobs=1)
+    t_seq = perf_counter() - t0
+    assert seq.ok and seq.executed == N_RUNS
+
+    t0 = perf_counter()
+    par = run_campaign(_seed_sweep(), ResultStore(tmp_path / "par"),
+                       jobs=PARALLEL_JOBS)
+    t_par = perf_counter() - t0
+    assert par.ok and par.executed == N_RUNS
+
+    # parallelism must never change results
+    assert [r.metrics for r in seq.results] == [r.metrics for r in par.results]
+
+    speedup = t_seq / t_par if t_par > 0 else float("inf")
+    cpus = os.cpu_count() or 1
+    _RESULTS["seed_sweep_runs"] = N_RUNS
+    _RESULTS["jobs1_wall_s"] = round(t_seq, 3)
+    _RESULTS[f"jobs{PARALLEL_JOBS}_wall_s"] = round(t_par, 3)
+    _RESULTS["speedup"] = round(speedup, 3)
+    _RESULTS["speedup_asserted"] = cpus >= PARALLEL_JOBS
+    print(f"\n[bench_campaign] jobs=1: {t_seq:.2f}s  "
+          f"jobs={PARALLEL_JOBS}: {t_par:.2f}s  speedup={speedup:.2f}x  "
+          f"(cpus={cpus})")
+    if cpus >= PARALLEL_JOBS:
+        assert speedup >= 2.0, (
+            f"jobs={PARALLEL_JOBS} only {speedup:.2f}x faster than jobs=1"
+        )
+
+
+def test_rerun_completes_entirely_from_cache(tmp_path):
+    """Immediate re-run of a completed campaign executes 0 runs."""
+    store = ResultStore(tmp_path / "store")
+    spec = sweep("fig9_size", seeds=[0, 1, 2, 3],
+                 overrides=dict(n_users=150, horizon_s=200.0),
+                 name="bench-cache", code_version=None)
+    first = run_campaign(spec, store, jobs=2)
+    assert first.ok and first.executed == 4
+
+    t0 = perf_counter()
+    second = run_campaign(spec, store, jobs=2)
+    t_cached = perf_counter() - t0
+    assert second.executed == 0 and second.cached == 4
+    assert [r.metrics for r in first.results] == \
+        [r.metrics for r in second.results]
+    _RESULTS["cache_rerun_executed"] = second.executed
+    _RESULTS["cache_rerun_wall_s"] = round(t_cached, 3)
+    print(f"\n[bench_campaign] cached re-run: {t_cached:.3f}s, "
+          f"{second.cached} served from store")

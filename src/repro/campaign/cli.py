@@ -1,0 +1,206 @@
+"""``python -m repro campaign`` — run/status/clean experiment campaigns.
+
+Usage::
+
+    python -m repro campaign run spec.json --jobs 4 --store .campaign
+    python -m repro campaign run spec.json --resume --progress
+    python -m repro campaign status --store .campaign
+    python -m repro campaign clean --store .campaign
+
+``run`` executes the spec's grid, skipping runs already present in the
+content-addressed store; ``--force`` re-executes everything, ``--resume``
+requires a prior journal for the same campaign (the crash-recovery
+workflow: identical spec, only missing runs execute).  Observability
+follows the PR-1 conventions: ``--metrics-out`` streams heartbeat
+snapshots (runs completed/cached/failed gauges) as JSONL with a manifest
+sidecar, ``--progress`` prints campaign heartbeat lines to stderr.
+
+Exit codes: 0 success, 1 any failed run, 2 bad spec / unknown
+experiment, 130 interrupted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import sys
+from typing import Optional
+
+import repro.obs as obs
+from repro.campaign.aggregate import to_replication, write_metrics_json
+from repro.campaign.runner import run_campaign
+from repro.campaign.spec import CampaignSpec, SpecError
+from repro.campaign.store import DEFAULT_STORE_DIR, ResultStore
+from repro.experiments.render import render_table
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro campaign",
+        description="Parallel experiment campaigns with content-addressed "
+                    "result caching and crash-safe resume.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="execute a campaign spec")
+    p_run.add_argument("spec", help="JSON campaign spec file")
+    p_run.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: cpu count; "
+                            "1 = in-process)")
+    p_run.add_argument("--store", default=DEFAULT_STORE_DIR,
+                       help="result store directory (default %(default)s)")
+    p_run.add_argument("--force", action="store_true",
+                       help="re-execute runs even when cached")
+    p_run.add_argument("--resume", action="store_true",
+                       help="continue a previously journalled campaign "
+                            "(error if none exists)")
+    p_run.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-run wall-clock timeout in seconds")
+    p_run.add_argument("--retries", type=int, default=2,
+                       help="max retries for transient failures "
+                            "(default %(default)s)")
+    p_run.add_argument("--backoff", type=float, default=0.5, metavar="S",
+                       help="base of the exponential retry backoff "
+                            "(default %(default)ss)")
+    p_run.add_argument("--out", default=None, metavar="PATH",
+                       help="write the figure-ready campaign JSON artifact")
+    p_run.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write a JSONL metrics time series (plus "
+                            "*.manifest.json sidecar)")
+    p_run.add_argument("--progress", action="store_true",
+                       help="print campaign heartbeat lines to stderr")
+    p_run.add_argument("--quiet", action="store_true",
+                       help="suppress the per-run table on stdout")
+
+    p_status = sub.add_parser("status", help="show journalled campaigns")
+    p_status.add_argument("--store", default=DEFAULT_STORE_DIR)
+
+    p_clean = sub.add_parser("clean", help="drop the store and journal")
+    p_clean.add_argument("--store", default=DEFAULT_STORE_DIR)
+    return parser
+
+
+def _cmd_run(args) -> int:
+    try:
+        spec = CampaignSpec.from_file(args.spec)
+    except SpecError as exc:
+        print(f"error: bad spec: {exc}", file=sys.stderr)
+        return 2
+    store = ResultStore(args.store)
+
+    if args.resume:
+        status = store.journal_status().get(spec.campaign_key)
+        if status is None:
+            print(f"error: --resume: no journalled campaign matches "
+                  f"{args.spec} in {store.root}", file=sys.stderr)
+            return 2
+        done = sum(n for ev, n in status["counts"].items()
+                   if ev in ("done", "cached"))
+        print(f"resuming campaign {spec.name!r}: {done}/{len(spec.runs)} "
+              f"runs already complete", file=sys.stderr)
+
+    if args.metrics_out:
+        obs_session = obs.session(
+            metrics_path=args.metrics_out,
+            progress=False,  # the campaign prints its own heartbeat
+            scenario=f"campaign:{spec.name}",
+        )
+    else:
+        obs_session = contextlib.nullcontext()
+
+    try:
+        with obs_session:
+            report = run_campaign(
+                spec, store,
+                jobs=args.jobs,
+                timeout_s=args.timeout,
+                retries=args.retries,
+                backoff_s=args.backoff,
+                force=args.force,
+                progress=args.progress,
+            )
+    except SpecError as exc:  # unknown experiment surfaces pre-execution
+        print(f"error: bad spec: {exc}", file=sys.stderr)
+        return 2
+
+    if args.out:
+        write_metrics_json(report, args.out)
+    if not args.quiet:
+        rows = []
+        for r in report.results:
+            rows.append((
+                r.spec.experiment, r.spec.seed, r.status, r.attempts,
+                f"{r.wall_time_s:.2f}",
+                r.error or ("-" if r.status != "cached" else "(cache)"),
+            ))
+        print(render_table(
+            ("experiment", "seed", "status", "attempts", "wall (s)", "info"),
+            rows,
+        ))
+        experiments = {r.spec.experiment for r in report.results
+                       if r.status in ("done", "cached")}
+        if len(experiments) == 1 and report.results:
+            with contextlib.suppress(ValueError):
+                print()
+                print(to_replication(report).render())
+    print(report.summary_line())
+    if report.interrupted:
+        return 130
+    return 0 if report.failed == 0 else 1
+
+
+def _cmd_status(args) -> int:
+    store = ResultStore(args.store)
+    campaigns = store.journal_status()
+    n_objects = sum(1 for _ in store.keys())
+    if not campaigns:
+        print(f"no journalled campaigns in {store.root} "
+              f"({n_objects} cached objects)")
+        return 0
+    rows = []
+    for ck, info in sorted(campaigns.items(), key=lambda kv: kv[1]["last_ts"]):
+        counts = info["counts"]
+        state = "interrupted" if info["interrupted"] else (
+            "incomplete" if counts.get("start", 0) or counts.get("retry", 0)
+            else "complete"
+        )
+        rows.append((
+            info["name"], ck[:12], info["total"],
+            counts.get("done", 0), counts.get("cached", 0),
+            counts.get("failed", 0), state,
+        ))
+    print(render_table(
+        ("campaign", "key", "runs", "done", "cached", "failed", "state"),
+        rows,
+    ))
+    print(f"{n_objects} cached objects in {store.root}")
+    return 0
+
+
+def _cmd_clean(args) -> int:
+    store = ResultStore(args.store)
+    n = store.clean()
+    print(f"removed {n} cached objects (and the journal) from {store.root}")
+    return 0
+
+
+def main(argv=None) -> int:
+    """Campaign CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "status":
+            return _cmd_status(args)
+        if args.command == "clean":
+            return _cmd_clean(args)
+    except KeyboardInterrupt:
+        print("error: interrupted", file=sys.stderr)
+        return 130
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":
+    sys.exit(main())

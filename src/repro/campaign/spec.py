@@ -1,0 +1,231 @@
+"""Campaign specs: a grid of runs with content-addressed identities.
+
+A campaign is a list of *sweep entries*, each expanding to
+``experiment x grid(overrides) x seeds`` runs.  Every expanded
+:class:`RunSpec` carries a canonical content hash over (experiment name,
+resolved overrides, seed, code version) computed with
+:func:`repro.obs.manifest.stable_hash` — the same key the result store
+files results under, so identical runs are recognised across invocations
+and processes.
+
+Spec files are JSON::
+
+    {
+      "name": "fig9-sweep",
+      "entries": [
+        {"experiment": "fig9_size", "seeds": [0, 1],
+         "grid": {"n_users": [250, 500, 1000]},
+         "overrides": {"horizon_s": 600.0}},
+        {"experiment": "fig3", "seeds": [0, 1, 2]}
+      ]
+    }
+
+``grid`` maps parameter names to value lists (cartesian product);
+``overrides`` holds fixed keyword arguments.  ``seeds`` defaults to
+``[0]``.  Malformed specs raise :class:`SpecError`, which the CLI maps to
+exit code 2.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.obs.manifest import git_revision, stable_hash
+
+__all__ = ["SpecError", "RunSpec", "CampaignSpec", "run_key", "sweep"]
+
+
+class SpecError(ValueError):
+    """A campaign spec is malformed (CLI exit code 2)."""
+
+
+def _auto_code_version() -> Optional[str]:
+    """Git revision of the *package's* checkout, independent of cwd.
+
+    Run keys must not change with the caller's working directory — a
+    campaign launched from /tmp and resumed from the repo root is the
+    same campaign if the code is the same.
+    """
+    return git_revision(cwd=Path(__file__).resolve().parent)
+
+
+def run_key(
+    experiment: str,
+    seed: int,
+    overrides: Mapping[str, Any],
+    code_version: Optional[str],
+) -> str:
+    """Canonical content hash identifying one run.
+
+    Two runs share a key iff they name the same experiment, resolve to the
+    same overrides (order-insensitively), use the same seed and the same
+    code version — precisely the conditions under which their results are
+    interchangeable.
+    """
+    return stable_hash({
+        "experiment": str(experiment),
+        "seed": int(seed),
+        "overrides": dict(overrides),
+        "code": code_version,
+    })
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One expanded run of a campaign."""
+
+    experiment: str
+    seed: int
+    overrides: Mapping[str, Any]
+    key: str
+
+    def describe(self) -> str:
+        """Short human-readable label (experiment, seed, overrides)."""
+        ov = ",".join(f"{k}={v!r}" for k, v in sorted(self.overrides.items()))
+        return f"{self.experiment}(seed={self.seed}{', ' + ov if ov else ''})"
+
+
+@dataclass
+class CampaignSpec:
+    """A named, fully expanded list of runs."""
+
+    name: str
+    runs: List[RunSpec] = field(default_factory=list)
+    code_version: Optional[str] = None
+
+    @property
+    def campaign_key(self) -> str:
+        """Content hash of the whole campaign (name + every run key)."""
+        return stable_hash({"name": self.name,
+                            "runs": [r.key for r in self.runs]})
+
+    # --- construction -----------------------------------------------------
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, Any], *,
+        code_version: Optional[str] = "auto",
+    ) -> "CampaignSpec":
+        """Expand a spec mapping into runs (raises :class:`SpecError`).
+
+        ``code_version="auto"`` stamps the current git revision into every
+        run key; pass ``None`` to key runs on inputs alone.
+        """
+        if not isinstance(data, Mapping):
+            raise SpecError("spec must be a JSON object")
+        name = data.get("name", "campaign")
+        if not isinstance(name, str) or not name:
+            raise SpecError("spec 'name' must be a non-empty string")
+        entries = data.get("entries")
+        if not isinstance(entries, Sequence) or isinstance(entries, (str, bytes)) \
+                or not entries:
+            raise SpecError("spec 'entries' must be a non-empty list")
+        unknown = set(data) - {"name", "entries"}
+        if unknown:
+            raise SpecError(f"unknown spec keys: {sorted(unknown)}")
+        if code_version == "auto":
+            code_version = _auto_code_version()
+        spec = cls(name=name, code_version=code_version)
+        for i, entry in enumerate(entries):
+            spec.runs.extend(_expand_entry(entry, i, code_version))
+        seen: Dict[str, RunSpec] = {}
+        for run in spec.runs:
+            if run.key in seen:
+                raise SpecError(
+                    f"duplicate run in spec: {run.describe()}"
+                )
+            seen[run.key] = run
+        return spec
+
+    @classmethod
+    def from_file(cls, path, **kwargs) -> "CampaignSpec":
+        """Load and expand a JSON spec file (raises :class:`SpecError`)."""
+        p = Path(path)
+        try:
+            text = p.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise SpecError(f"cannot read spec {p}: {exc}") from exc
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"spec {p} is not valid JSON: {exc}") from exc
+        return cls.from_dict(data, **kwargs)
+
+
+def _expand_entry(
+    entry: Any, index: int, code_version: Optional[str]
+) -> List[RunSpec]:
+    """Expand one sweep entry into its ``grid x seeds`` runs."""
+    where = f"entries[{index}]"
+    if not isinstance(entry, Mapping):
+        raise SpecError(f"{where} must be an object")
+    unknown = set(entry) - {"experiment", "seeds", "overrides", "grid"}
+    if unknown:
+        raise SpecError(f"{where} has unknown keys: {sorted(unknown)}")
+    experiment = entry.get("experiment")
+    if not isinstance(experiment, str) or not experiment:
+        raise SpecError(f"{where}.experiment must be a non-empty string")
+    seeds = entry.get("seeds", [0])
+    if (not isinstance(seeds, Sequence) or isinstance(seeds, (str, bytes))
+            or not seeds):
+        raise SpecError(f"{where}.seeds must be a non-empty list of ints")
+    try:
+        seeds = [int(s) for s in seeds]
+    except (TypeError, ValueError) as exc:
+        raise SpecError(f"{where}.seeds must be ints: {exc}") from exc
+    overrides = entry.get("overrides", {})
+    if not isinstance(overrides, Mapping):
+        raise SpecError(f"{where}.overrides must be an object")
+    grid = entry.get("grid", {})
+    if not isinstance(grid, Mapping):
+        raise SpecError(f"{where}.grid must be an object")
+    for param, values in grid.items():
+        if (not isinstance(values, Sequence) or isinstance(values, (str, bytes))
+                or not values):
+            raise SpecError(
+                f"{where}.grid[{param!r}] must be a non-empty list"
+            )
+        if param in overrides:
+            raise SpecError(
+                f"{where}: {param!r} appears in both grid and overrides"
+            )
+
+    runs: List[RunSpec] = []
+    params = sorted(grid)
+    combos: Iterable[tuple] = itertools.product(*(grid[p] for p in params))
+    for combo in combos:
+        resolved = dict(overrides)
+        resolved.update(zip(params, combo))
+        for seed in seeds:
+            runs.append(RunSpec(
+                experiment=experiment,
+                seed=seed,
+                overrides=resolved,
+                key=run_key(experiment, seed, resolved, code_version),
+            ))
+    return runs
+
+
+def sweep(
+    experiment: str,
+    *,
+    seeds: Sequence[int] = (0,),
+    overrides: Optional[Mapping[str, Any]] = None,
+    grid: Optional[Mapping[str, Sequence[Any]]] = None,
+    name: str = "",
+    code_version: Optional[str] = "auto",
+) -> CampaignSpec:
+    """Programmatic one-entry campaign (what ``replicate`` and the Fig. 9
+    sweeps build internally)."""
+    entry: Dict[str, Any] = {"experiment": experiment, "seeds": list(seeds)}
+    if overrides:
+        entry["overrides"] = dict(overrides)
+    if grid:
+        entry["grid"] = {k: list(v) for k, v in grid.items()}
+    return CampaignSpec.from_dict(
+        {"name": name or experiment, "entries": [entry]},
+        code_version=code_version,
+    )

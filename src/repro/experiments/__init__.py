@@ -20,7 +20,9 @@ from repro.experiments.figures import (
     fig6_join_time_cdfs,
     fig7_ready_time_by_period,
     fig8_continuity_by_type,
+    fig9_rate_point,
     fig9_scalability,
+    fig9_size_point,
     fig10_sessions_and_retries,
 )
 from repro.experiments.replication import MetricSummary, ReplicationResult, replicate
@@ -41,6 +43,8 @@ __all__ = [
     "fig6_join_time_cdfs",
     "fig7_ready_time_by_period",
     "fig8_continuity_by_type",
+    "fig9_size_point",
+    "fig9_rate_point",
     "fig9_scalability",
     "fig10_sessions_and_retries",
     "validate_dynamics_equations",

@@ -5,9 +5,10 @@ Usage::
     python -m repro list                 # what can be regenerated
     python -m repro table1
     python -m repro fig3 [--seed 7]
-    python -m repro fig9 --seed 1
+    python -m repro fig9 --seed 1 --jobs 4    # parallel sweep points
     python -m repro all                  # everything (several minutes)
     python -m repro ablations            # design-choice ablations
+    python -m repro campaign run spec.json --jobs 4   # see repro.campaign
 
 Each command runs the corresponding experiment at the default benchmark
 scale and prints the rendered tables/series.
@@ -29,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import inspect
 import sys
 import time
 from typing import Callable, Dict, Optional
@@ -59,17 +61,17 @@ from repro.experiments.ablations import (
 __all__ = ["main", "EXPERIMENTS"]
 
 EXPERIMENTS: Dict[str, Callable] = {
-    "table1": lambda seed: table1(),
-    "fig3": lambda seed: fig3_user_types_and_contribution(seed=seed),
-    "fig4": lambda seed: fig4_overlay_structure(seed=seed),
-    "fig5": lambda seed: fig5_user_evolution(seed=seed),
-    "fig6": lambda seed: fig6_join_time_cdfs(seed=seed),
-    "fig7": lambda seed: fig7_ready_time_by_period(seed=seed),
-    "fig8": lambda seed: fig8_continuity_by_type(seed=seed),
-    "fig9": lambda seed: fig9_scalability(seed=seed),
-    "fig10": lambda seed: fig10_sessions_and_retries(seed=seed),
-    "model": lambda seed: validate_dynamics_equations(seed=seed),
-    "convergence": lambda seed: validate_convergence_model(seed=seed),
+    "table1": lambda seed, jobs=1: table1(),
+    "fig3": lambda seed, jobs=1: fig3_user_types_and_contribution(seed=seed),
+    "fig4": lambda seed, jobs=1: fig4_overlay_structure(seed=seed),
+    "fig5": lambda seed, jobs=1: fig5_user_evolution(seed=seed),
+    "fig6": lambda seed, jobs=1: fig6_join_time_cdfs(seed=seed),
+    "fig7": lambda seed, jobs=1: fig7_ready_time_by_period(seed=seed),
+    "fig8": lambda seed, jobs=1: fig8_continuity_by_type(seed=seed),
+    "fig9": lambda seed, jobs=1: fig9_scalability(seed=seed, jobs=jobs),
+    "fig10": lambda seed, jobs=1: fig10_sessions_and_retries(seed=seed),
+    "model": lambda seed, jobs=1: validate_dynamics_equations(seed=seed),
+    "convergence": lambda seed, jobs=1: validate_convergence_model(seed=seed),
 }
 
 ABLATIONS: Dict[str, Callable] = {
@@ -82,9 +84,16 @@ ABLATIONS: Dict[str, Callable] = {
 }
 
 
-def _run_one(name: str, fn: Callable, seed: int, *, quiet: bool = False) -> None:
+def _run_one(name: str, fn: Callable, seed: int, *, jobs: int = 1,
+             quiet: bool = False) -> None:
     t0 = time.perf_counter()
-    result = fn(seed)
+    # registry entries take (seed, jobs); tolerate externally registered
+    # seed-only callables
+    try:
+        accepts_jobs = "jobs" in inspect.signature(fn).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtins etc.
+        accepts_jobs = False
+    result = fn(seed, jobs=jobs) if accepts_jobs else fn(seed)
     elapsed = time.perf_counter() - t0
     if not quiet:
         print(result.render())
@@ -108,6 +117,13 @@ def _obs_session(args, scenario: str):
 
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "campaign":
+        # the campaign orchestrator has its own sub-CLI (run/status/clean)
+        from repro.campaign.cli import main as campaign_main
+
+        return campaign_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate tables/figures of the Coolstreaming "
@@ -119,6 +135,9 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0,
                         help="root random seed (default 0)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for sweep experiments "
+                             "(fig9; default 1 = in-process)")
     parser.add_argument("--metrics-out", metavar="PATH", default=None,
                         help="write a JSONL metrics time series (plus a "
                              "*.manifest.json run manifest sidecar)")
@@ -137,6 +156,7 @@ def main(argv=None) -> int:
             print(key)
         print("ablations")
         print("all")
+        print("campaign")
         return 0
 
     if name not in EXPERIMENTS and name not in ("all", "ablations"):
@@ -148,13 +168,15 @@ def main(argv=None) -> int:
         with _obs_session(args, scenario=name):
             if name == "all":
                 for key, fn in EXPERIMENTS.items():
-                    _run_one(key, fn, args.seed, quiet=args.quiet)
+                    _run_one(key, fn, args.seed, jobs=args.jobs,
+                             quiet=args.quiet)
             elif name == "ablations":
                 for key, fn in ABLATIONS.items():
-                    _run_one(key, lambda seed, f=fn: f(seed=seed), args.seed,
-                             quiet=args.quiet)
+                    _run_one(key, lambda seed, jobs=1, f=fn: f(seed=seed),
+                             args.seed, quiet=args.quiet)
             else:
-                _run_one(name, EXPERIMENTS[name], args.seed, quiet=args.quiet)
+                _run_one(name, EXPERIMENTS[name], args.seed, jobs=args.jobs,
+                         quiet=args.quiet)
     except KeyboardInterrupt:
         print("error: interrupted", file=sys.stderr)
         return 130

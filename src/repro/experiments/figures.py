@@ -46,6 +46,8 @@ __all__ = [
     "fig6_join_time_cdfs",
     "fig7_ready_time_by_period",
     "fig8_continuity_by_type",
+    "fig9_size_point",
+    "fig9_rate_point",
     "fig9_scalability",
     "fig10_sessions_and_retries",
 ]
@@ -366,32 +368,112 @@ def fig8_continuity_by_type(
 # ---------------------------------------------------------------------------
 # Fig. 9: scalability sweeps
 # ---------------------------------------------------------------------------
+def fig9_size_point(
+    *, seed: int = 0, n_users: int = 1000, horizon_s: float = 1200.0,
+    n_servers: int = 4,
+) -> FigureResult:
+    """One Fig. 9a sweep point: mean continuity at ``n_users`` arrivals.
+
+    Independent of every other point (own simulation, own seed), which is
+    what lets the campaign executor fan the sweep out across workers
+    bit-identically to the sequential loop.
+    """
+    cfg = SystemConfig(n_servers=n_servers)
+    sim = FastSimulation(cfg, seed=seed, capacity_hint=2 * n_users + 64)
+    rng = sim.rng.stream("workload.arrivals")
+    ramp = 0.25 * horizon_s
+    times = np.sort(rng.uniform(0.0, ramp, size=n_users))
+    durations = np.full(n_users, horizon_s)  # stay to the end
+    sim.add_arrivals(times, durations)
+    sim.run(until=horizon_s)
+    cont = mean_continuity(sim.log, after=0.4 * horizon_s)
+    result = FigureResult("Fig. 9a point", f"continuity at N={n_users}")
+    result.metrics["continuity"] = cont
+    result.metrics["n_users"] = float(n_users)
+    result.metrics["playing_at_end"] = float(sim.playing_users)
+    return result
+
+
+def fig9_rate_point(
+    *, seed: int = 0, rate: float = 1.0, horizon_s: float = 1200.0,
+    n_servers: int = 4,
+) -> FigureResult:
+    """One Fig. 9b sweep point: mean continuity at join rate ``rate``/s."""
+    cfg = SystemConfig(n_servers=n_servers)
+    n_users = int(rate * 0.25 * horizon_s)
+    sim = FastSimulation(cfg, seed=seed, capacity_hint=2 * n_users + 64)
+    rng = sim.rng.stream("workload.arrivals")
+    times = np.sort(rng.uniform(0.0, 0.25 * horizon_s, size=n_users))
+    durations = np.full(n_users, horizon_s)
+    sim.add_arrivals(times, durations)
+    sim.run(until=horizon_s)
+    cont = mean_continuity(sim.log, after=0.4 * horizon_s)
+    result = FigureResult("Fig. 9b point", f"continuity at {rate:g}/s")
+    result.metrics["continuity"] = cont
+    result.metrics["rate"] = float(rate)
+    result.metrics["arrivals"] = float(n_users)
+    return result
+
+
 def fig9_scalability(
     *, seed: int = 0, sizes: tuple = (250, 500, 1000, 2000, 4000),
     join_rates: tuple = (0.5, 1.0, 2.0, 4.0, 8.0),
-    horizon_s: float = 1200.0,
+    horizon_s: float = 1200.0, jobs: int = 1,
 ) -> FigureResult:
     """Fig. 9a/9b: average continuity vs system size and vs join rate.
 
     Paper: flat at ~97% across sizes and arrival bursts -- the self-scaling
     claim.  Server fleet is held *constant* while the population grows, so
     flatness is carried by peer capacity, as in the deployment.
+
+    Every sweep point is an independent simulation
+    (:func:`fig9_size_point` at seed ``seed+i``, :func:`fig9_rate_point`
+    at ``seed+100+i``); ``jobs > 1`` fans them out over the campaign
+    executor's worker pool with results bit-identical to ``jobs=1``.
     """
+    point_specs = [
+        ("fig9_size", seed + i, {"n_users": int(n), "horizon_s": horizon_s})
+        for i, n in enumerate(sizes)
+    ] + [
+        ("fig9_rate", seed + 100 + i, {"rate": float(r),
+                                       "horizon_s": horizon_s})
+        for i, r in enumerate(join_rates)
+    ]
+
+    if jobs != 1:
+        # lazy import: repro.campaign's registry imports this module
+        from repro.campaign.runner import run_campaign
+        from repro.campaign.spec import CampaignSpec, RunSpec, run_key
+
+        spec = CampaignSpec(name="fig9", code_version=None)
+        spec.runs = [
+            RunSpec(experiment=exp, seed=s, overrides=ov,
+                    key=run_key(exp, s, ov, None))
+            for exp, s, ov in point_specs
+        ]
+        report = run_campaign(spec, store=None, jobs=jobs)
+        if not report.ok:
+            failed = [r for r in report.results if r.status == "failed"]
+            detail = failed[0].error if failed else "interrupted"
+            raise RuntimeError(f"fig9 campaign failed: {detail}")
+        point_metrics = [r.metrics for r in report.results]
+    else:
+        point_fns = {"fig9_size": fig9_size_point, "fig9_rate": fig9_rate_point}
+        point_metrics = [
+            dict(point_fns[exp](seed=s, **ov).metrics)
+            for exp, s, ov in point_specs
+        ]
+
     result = FigureResult("Fig. 9", "Continuity vs system size / join rate")
+    size_points = point_metrics[:len(sizes)]
+    rate_points = point_metrics[len(sizes):]
 
     size_rows = []
     size_metrics = []
-    for i, n_users in enumerate(sizes):
-        cfg = SystemConfig(n_servers=4)
-        sim = FastSimulation(cfg, seed=seed + i, capacity_hint=2 * n_users + 64)
-        rng = sim.rng.stream("workload.arrivals")
-        ramp = 0.25 * horizon_s
-        times = np.sort(rng.uniform(0.0, ramp, size=n_users))
-        durations = np.full(n_users, horizon_s)  # stay to the end
-        sim.add_arrivals(times, durations)
-        sim.run(until=horizon_s)
-        cont = mean_continuity(sim.log, after=0.4 * horizon_s)
-        size_rows.append((str(n_users), f"{sim.playing_users}", f"{cont:.4f}"))
+    for n_users, m in zip(sizes, size_points):
+        cont = m["continuity"]
+        size_rows.append((str(n_users), f"{int(m['playing_at_end'])}",
+                          f"{cont:.4f}"))
         size_metrics.append(cont)
         result.metrics[f"continuity_N{n_users}"] = cont
     result.add_block(render_table(
@@ -400,18 +482,10 @@ def fig9_scalability(
 
     rate_rows = []
     rate_metrics = []
-    for i, rate in enumerate(join_rates):
-        cfg = SystemConfig(n_servers=4)
-        n_users = int(rate * 0.25 * horizon_s)
-        sim = FastSimulation(cfg, seed=seed + 100 + i,
-                             capacity_hint=2 * n_users + 64)
-        rng = sim.rng.stream("workload.arrivals")
-        times = np.sort(rng.uniform(0.0, 0.25 * horizon_s, size=n_users))
-        durations = np.full(n_users, horizon_s)
-        sim.add_arrivals(times, durations)
-        sim.run(until=horizon_s)
-        cont = mean_continuity(sim.log, after=0.4 * horizon_s)
-        rate_rows.append((f"{rate:g}/s", str(n_users), f"{cont:.4f}"))
+    for rate, m in zip(join_rates, rate_points):
+        cont = m["continuity"]
+        rate_rows.append((f"{rate:g}/s", str(int(m["arrivals"])),
+                          f"{cont:.4f}"))
         rate_metrics.append(cont)
         result.metrics[f"continuity_rate{rate:g}"] = cont
     result.add_block(render_table(

@@ -37,10 +37,12 @@ from repro.obs.context import (
 from repro.obs.exporters import JsonlMetricsWriter, write_prometheus
 from repro.obs.manifest import (
     RunManifest,
+    canonical_payload,
     config_fingerprint,
     git_revision,
     manifest_path_for,
     peak_rss_bytes,
+    stable_hash,
 )
 from repro.obs.metrics import (
     DEFAULT_TIME_BUCKETS_S,
@@ -59,8 +61,8 @@ from repro.obs.trace import TraceCollector
 __all__ = [
     "ObsContext", "ObsError", "activate", "current", "deactivate", "session",
     "JsonlMetricsWriter", "write_prometheus",
-    "RunManifest", "config_fingerprint", "git_revision", "manifest_path_for",
-    "peak_rss_bytes",
+    "RunManifest", "canonical_payload", "config_fingerprint", "git_revision",
+    "manifest_path_for", "peak_rss_bytes", "stable_hash",
     "Counter", "Gauge", "Histogram", "Timer", "MetricsRegistry",
     "NullRegistry", "NULL_REGISTRY", "DEFAULT_TIME_BUCKETS_S",
     "render_prometheus", "ProgressReporter", "TraceCollector",

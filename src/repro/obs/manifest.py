@@ -13,6 +13,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import math
 import platform
 import subprocess
 import sys
@@ -21,6 +22,8 @@ from pathlib import Path
 from typing import Any, Dict, Optional
 
 __all__ = [
+    "canonical_payload",
+    "stable_hash",
     "config_fingerprint",
     "git_revision",
     "peak_rss_bytes",
@@ -29,20 +32,68 @@ __all__ = [
 ]
 
 
+def _normalise(obj: Any) -> Any:
+    """Reduce ``obj`` to a canonical JSON-serialisable form.
+
+    Dataclasses become field dicts, mappings get string keys, sequences
+    become lists, and floats are normalised so that ``-0.0`` and non-finite
+    values serialise identically everywhere.  Anything else falls back to
+    ``repr`` (the same fallback the original config fingerprint used).
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return _normalise(dataclasses.asdict(obj))
+    if isinstance(obj, dict):
+        return {str(k): _normalise(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_normalise(v) for v in obj]
+    if isinstance(obj, bool) or obj is None:
+        return obj
+    if isinstance(obj, int):
+        return int(obj)
+    if isinstance(obj, float):
+        if math.isnan(obj):
+            return "float:nan"
+        if math.isinf(obj):
+            return "float:inf" if obj > 0 else "float:-inf"
+        if obj == 0.0:  # collapse -0.0
+            return 0.0
+        return float(obj)
+    if isinstance(obj, str):
+        return obj
+    # numpy scalars (and anything else exposing .item()) -> python scalars
+    item = getattr(obj, "item", None)
+    if callable(item):
+        try:
+            return _normalise(obj.item())
+        except (TypeError, ValueError):
+            pass
+    return repr(obj)
+
+
+def canonical_payload(obj: Any) -> str:
+    """Canonical JSON text of ``obj``: sorted keys, compact separators,
+    normalised floats.  Two structurally equal objects always produce the
+    same text regardless of dict insertion order, process, or platform —
+    this is the byte string every content hash is taken over."""
+    return json.dumps(_normalise(obj), sort_keys=True,
+                      separators=(",", ":"), allow_nan=False)
+
+
+def stable_hash(obj: Any, *, length: Optional[int] = None) -> str:
+    """SHA-256 hex digest of :func:`canonical_payload`, optionally
+    truncated to ``length`` characters."""
+    digest = hashlib.sha256(canonical_payload(obj).encode("utf-8")).hexdigest()
+    return digest if length is None else digest[:length]
+
+
 def config_fingerprint(cfg: Any) -> str:
     """Stable short hash of a config object.
 
-    Dataclasses are hashed over their sorted field dict; other objects over
-    ``repr``.  Two configs with equal fields always hash equal, across
-    processes and python versions.
+    Dataclasses are hashed over their canonicalised field dict; other
+    objects over ``repr``.  Two configs with equal fields always hash
+    equal, across processes, dict insertion orders and python versions.
     """
-    if dataclasses.is_dataclass(cfg) and not isinstance(cfg, type):
-        payload = json.dumps(
-            dataclasses.asdict(cfg), sort_keys=True, default=str
-        )
-    else:
-        payload = repr(cfg)
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+    return stable_hash(cfg, length=16)
 
 
 def git_revision(cwd: Optional[Path] = None) -> Optional[str]:

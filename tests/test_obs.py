@@ -172,6 +172,40 @@ class TestManifest:
         assert a == b
         assert a != c
 
+    def test_hash_ignores_dict_insertion_order(self):
+        """Regression: the canonical hash must not depend on the order
+        keys were inserted (campaign run keys rely on this)."""
+        from repro.obs.manifest import stable_hash
+
+        a = stable_hash({"alpha": 1, "beta": {"y": 2.0, "x": [1, 2]}})
+        b = stable_hash({"beta": {"x": [1, 2], "y": 2.0}, "alpha": 1})
+        assert a == b
+        assert a != stable_hash({"alpha": 1, "beta": {"y": 2.0, "x": [2, 1]}})
+
+    def test_canonical_payload_float_formatting(self):
+        from repro.obs.manifest import canonical_payload
+
+        # -0.0 collapses onto 0.0; non-finite floats serialise as tagged
+        # strings rather than non-standard JSON tokens
+        assert canonical_payload({"x": -0.0}) == canonical_payload({"x": 0.0})
+        assert "nan" in canonical_payload(float("nan"))
+        assert "inf" in canonical_payload(float("inf"))
+        # shortest-repr floats are stable and roundtrip
+        assert canonical_payload(0.1) == "0.1"
+
+    def test_fingerprint_ignores_field_order(self):
+        """Two equal configs hash equal regardless of how their field
+        dicts happen to be ordered internally."""
+        import dataclasses
+
+        cfg = SystemConfig()
+        d = dataclasses.asdict(cfg)
+        reordered = dict(reversed(list(d.items())))
+        from repro.obs.manifest import stable_hash
+
+        assert stable_hash(d, length=16) == stable_hash(reordered, length=16)
+        assert stable_hash(d, length=16) == config_fingerprint(cfg)
+
     def test_sidecar_path(self):
         assert str(manifest_path_for("out/m.jsonl")).endswith("m.manifest.json")
         assert str(manifest_path_for("metrics")).endswith(

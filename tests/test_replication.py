@@ -48,6 +48,22 @@ class TestMetricSummary:
         assert s.n == 0
         assert math.isnan(s.mean)
 
+    def test_spread_is_nan_when_empty(self):
+        """n == 0 must yield NaN spread, not a misleading 0 or a
+        nan-arithmetic surprise."""
+        s = MetricSummary.from_samples("m", [])
+        assert s.n == 0
+        assert math.isnan(s.spread)
+        assert math.isnan(MetricSummary.from_samples("m", [float("nan")]).spread)
+
+    def test_spread_nonempty(self):
+        assert MetricSummary.from_samples("m", [1.0, 4.0]).spread == 3.0
+
+    def test_to_dict(self):
+        d = MetricSummary.from_samples("m", [1.0, 3.0]).to_dict()
+        assert d == {"mean": 2.0, "std": pytest.approx(math.sqrt(2)),
+                     "min": 1.0, "max": 3.0, "n": 2}
+
 
 class TestReplicate:
     def test_aggregates_across_seeds(self):
@@ -86,6 +102,32 @@ class TestReplicate:
         rep = replicate(fake_experiment, seeds=(0,))
         with pytest.raises(KeyError):
             rep.get("nope")
+
+    def test_per_seed_samples_kept(self):
+        """Raw per-seed values ride along so aggregation layers (campaign
+        artifacts, error bars) never re-run experiments."""
+        rep = replicate(fake_experiment, seeds=(0, 1, 2))
+        assert rep.samples["value"] == [10.0, 11.0, 12.0]
+        assert rep.samples["constant"] == [5.0, 5.0, 5.0]
+        # NaN replicates are preserved in samples (dropped only in summaries)
+        assert rep.samples["sometimes"][0] == 0.0
+        assert math.isnan(rep.samples["sometimes"][1])
+
+    def test_render_includes_per_seed_values(self):
+        rep = replicate(fake_experiment, seeds=(0, 1))
+        out = rep.render()
+        assert "per-seed" in out
+        assert "10,11" in out
+
+    def test_to_json_includes_samples_and_summaries(self):
+        import json
+
+        rep = replicate(fake_experiment, seeds=(0, 1))
+        data = json.loads(rep.to_json())
+        assert data["seeds"] == [0, 1]
+        assert data["samples"]["value"] == [10.0, 11.0]
+        assert data["summaries"]["value"]["mean"] == 10.5
+        assert data["summaries"]["value"]["n"] == 2
 
     def test_real_experiment_replication(self):
         """Replicate the (cheap) dynamics validation across seeds: the
