@@ -1,0 +1,101 @@
+"""Runtime-layer benchmarks: engine throughput on one shared scenario.
+
+The engine-agnostic runtime makes the two engines directly comparable:
+both consume the byte-identical workload realization for the same
+(scenario, seed), so the wall-clock gap is purely the cost of protocol
+fidelity.  We drive one steady-audience scenario through
+``run_scenario`` on each engine and record the natural throughput unit
+of each -- events/s for the event-driven reference engine, peer-steps/s
+for the vectorized fluid engine -- plus the end-to-end speedup.
+
+Key figures are written to ``benchmarks/BENCH_runtime.json`` so CI and
+regression tooling can diff them across revisions.
+"""
+
+import json
+import os
+import platform
+from pathlib import Path
+from time import perf_counter
+
+import pytest
+
+from repro.runtime import run_scenario, sample_workload
+from repro.workload.scenarios import steady_audience
+
+BENCH_JSON = Path(__file__).resolve().parent / "BENCH_runtime.json"
+
+SEED = 0
+HORIZON_S = 600.0
+
+_RESULTS = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_bench_json():
+    yield
+    if _RESULTS:
+        payload = {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+            "results": dict(sorted(_RESULTS.items())),
+        }
+        BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def _scenario():
+    return steady_audience(rate_per_s=0.5, horizon_s=HORIZON_S, n_servers=3)
+
+
+def test_detailed_engine_throughput(benchmark):
+    """Reference engine: events/s over the shared scenario."""
+    scenario = _scenario()
+    t0 = perf_counter()
+    res = benchmark.pedantic(
+        run_scenario, args=(scenario,),
+        kwargs=dict(seed=SEED, engine="detailed"),
+        rounds=1, iterations=1,
+    )
+    wall = perf_counter() - t0
+    events = res.system.engine.events_processed
+    assert events > 0
+    _RESULTS["scenario_users"] = res.workload.n_users
+    _RESULTS["detailed_wall_s"] = round(wall, 3)
+    _RESULTS["detailed_events"] = events
+    _RESULTS["detailed_events_per_s"] = round(events / wall, 1)
+    print(f"\n[bench_runtime] detailed: {events} events in {wall:.2f}s "
+          f"({events / wall:,.0f} events/s)")
+
+
+def test_fluid_engine_throughput(benchmark):
+    """Fluid engine: peer-steps/s over the same scenario, and speedup."""
+    scenario = _scenario()
+    workload = sample_workload(scenario, SEED)
+    t0 = perf_counter()
+    res = benchmark.pedantic(
+        run_scenario, args=(scenario,),
+        kwargs=dict(seed=SEED, engine="fast"),
+        rounds=1, iterations=1,
+    )
+    wall = perf_counter() - t0
+    # one vectorized step per dt touches every live peer; integrating the
+    # audience over the horizon gives total peer-steps
+    dt = res.sim.fast.dt
+    n_steps = int(HORIZON_S / dt)
+    mean_alive = max(1.0, float(res.metrics()["concurrent_users"]) / 2.0)
+    peer_steps = int(n_steps * mean_alive)
+    _RESULTS["fluid_wall_s"] = round(wall, 3)
+    _RESULTS["fluid_steps"] = n_steps
+    _RESULTS["fluid_peer_steps_per_s"] = round(peer_steps / wall, 1)
+    detailed_wall = _RESULTS.get("detailed_wall_s")
+    if detailed_wall:
+        _RESULTS["fluid_speedup_over_detailed"] = round(detailed_wall / wall, 2)
+    print(f"\n[bench_runtime] fluid: {n_steps} steps over "
+          f"{workload.n_users} users in {wall:.2f}s"
+          + (f", {detailed_wall / wall:.1f}x faster than detailed"
+             if detailed_wall else ""))
+    # the fluid engine exists to be cheap: it must beat the reference
+    # engine end-to-end on the identical scenario
+    if detailed_wall:
+        assert wall < detailed_wall

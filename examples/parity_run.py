@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Cross-engine parity: one scenario, both engines, side by side.
+
+``repro.runtime`` samples the workload realization once from seed-derived
+named RNG streams and feeds the *same* audience to the event-driven
+reference engine and the vectorized fluid engine.  This script runs a
+steady audience on both, prints the per-engine metric snapshots, and
+then the parity report the CI smoke job gates on -- peak concurrent
+users, mean continuity and retry-session fraction compared within
+calibrated tolerances.
+
+Run:  python examples/parity_run.py              (about a minute)
+      python examples/parity_run.py --seed 3
+"""
+
+import sys
+
+from repro.runtime import run_parity, run_scenario
+from repro.workload.scenarios import steady_audience
+
+
+def main() -> int:
+    seed = 0
+    if "--seed" in sys.argv:
+        seed = int(sys.argv[sys.argv.index("--seed") + 1])
+
+    scenario = steady_audience(rate_per_s=0.4, horizon_s=600.0, n_servers=3)
+
+    # -- the same scenario, either engine -------------------------------
+    print(f"scenario: {scenario.name}, horizon {scenario.horizon_s:.0f} s, "
+          f"seed {seed}")
+    print()
+    for engine in ("detailed", "fast"):
+        res = run_scenario(scenario, seed=seed, engine=engine)
+        m = res.metrics()
+        print(f"[{engine}] arrived users: {res.workload.n_users}")
+        for key in ("concurrent_users", "playing_users", "mean_continuity",
+                    "success_fraction"):
+            print(f"[{engine}]   {key}: {m[key]:.4f}")
+        print()
+
+    # -- the parity harness the CI smoke job runs -----------------------
+    report = run_parity(scenario, seed=seed)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

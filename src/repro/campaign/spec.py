@@ -22,8 +22,13 @@ Spec files are JSON::
 
 ``grid`` maps parameter names to value lists (cartesian product);
 ``overrides`` holds fixed keyword arguments.  ``seeds`` defaults to
-``[0]``.  Malformed specs raise :class:`SpecError`, which the CLI maps to
-exit code 2.
+``[0]``.  An optional ``"engine": "detailed"|"fast"`` entry key pins the
+simulation engine for every run the entry expands to; it is folded into
+the resolved overrides, so the engine is part of each run's
+content-addressed key (cached results from one engine are never replayed
+as the other's).  Entries without an ``engine`` key keep the
+experiment's own default and their historical run keys.  Malformed specs
+raise :class:`SpecError`, which the CLI maps to exit code 2.
 """
 
 from __future__ import annotations
@@ -162,7 +167,8 @@ def _expand_entry(
     where = f"entries[{index}]"
     if not isinstance(entry, Mapping):
         raise SpecError(f"{where} must be an object")
-    unknown = set(entry) - {"experiment", "seeds", "overrides", "grid"}
+    unknown = set(entry) - {"experiment", "seeds", "overrides", "grid",
+                            "engine"}
     if unknown:
         raise SpecError(f"{where} has unknown keys: {sorted(unknown)}")
     experiment = entry.get("experiment")
@@ -179,6 +185,18 @@ def _expand_entry(
     overrides = entry.get("overrides", {})
     if not isinstance(overrides, Mapping):
         raise SpecError(f"{where}.overrides must be an object")
+    engine = entry.get("engine")
+    if engine is not None:
+        if engine not in ("detailed", "fast"):
+            raise SpecError(
+                f"{where}.engine must be 'detailed' or 'fast', "
+                f"got {engine!r}"
+            )
+        if "engine" in overrides:
+            raise SpecError(
+                f"{where}: 'engine' given both as an entry key and in "
+                f"overrides"
+            )
     grid = entry.get("grid", {})
     if not isinstance(grid, Mapping):
         raise SpecError(f"{where}.grid must be an object")
@@ -192,6 +210,13 @@ def _expand_entry(
             raise SpecError(
                 f"{where}: {param!r} appears in both grid and overrides"
             )
+    if engine is not None:
+        if "engine" in grid:
+            raise SpecError(
+                f"{where}: 'engine' given both as an entry key and in grid"
+            )
+        overrides = dict(overrides)
+        overrides["engine"] = engine
 
     runs: List[RunSpec] = []
     params = sorted(grid)

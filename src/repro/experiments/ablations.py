@@ -25,6 +25,7 @@ from repro.analysis import Cdf, SessionTable
 from repro.analysis.continuity import mean_continuity
 from repro.core.config import SystemConfig
 from repro.experiments.render import FigureResult, render_table
+from repro.runtime import run_scenario
 from repro.workload.scenarios import flash_crowd_storm, steady_audience
 
 __all__ = [
@@ -45,8 +46,14 @@ def run_variant(
     burst_users_per_s: float = 1.2,
     horizon_s: float = 700.0,
     steady: bool = False,
+    engine: str = "detailed",
 ) -> Dict[str, float]:
-    """Run one scenario under ``cfg`` and extract the comparison metrics."""
+    """Run one scenario under ``cfg`` and extract the comparison metrics.
+
+    Ablations default to the detailed engine because most ablated knobs
+    (mCache policy, delivery mode, offset rule) only exist there; the
+    fluid engine is still available for the workload-level ones.
+    """
     if steady:
         scenario = steady_audience(rate_per_s=burst_users_per_s,
                                    horizon_s=horizon_s, n_servers=2, cfg=cfg)
@@ -55,16 +62,15 @@ def run_variant(
             burst_users_per_s=burst_users_per_s, horizon_s=horizon_s,
             n_servers=2, cfg=cfg,
         )
-    system, population = scenario.run(seed=seed)
-    table = SessionTable.from_log(system.log)
+    res = run_scenario(scenario, seed=seed, engine=engine)
+    engine_metrics = res.metrics()
+    table = SessionTable.from_log(res.log)
     ready = table.ready_delays()
     out: Dict[str, float] = {
         "sessions": float(len(table)),
-        "success_fraction": population.success_fraction(),
-        "continuity": mean_continuity(system.log, after=0.3 * horizon_s),
-        "adaptations": float(sum(
-            p.adaptation_count for p in system.peers(alive_only=False)
-        )),
+        "success_fraction": engine_metrics["success_fraction"],
+        "continuity": mean_continuity(res.log, after=0.3 * horizon_s),
+        "adaptations": engine_metrics["adaptations"],
     }
     if ready:
         cdf = Cdf.from_samples(ready)
@@ -102,7 +108,7 @@ def _compare(
     return result
 
 
-def ablate_offset_mode(*, seed: int = 0) -> FigureResult:
+def ablate_offset_mode(*, seed: int = 0, engine: str = "detailed") -> FigureResult:
     """Initial playout offset: m - T_p (paper) vs latest vs oldest."""
     base = SystemConfig(n_servers=2)
     return _compare(
@@ -113,10 +119,11 @@ def ablate_offset_mode(*, seed: int = 0) -> FigureResult:
             "oldest": base.with_overrides(initial_offset_mode="oldest"),
         },
         seed=seed,
+        engine=engine,
     )
 
 
-def ablate_parent_choice(*, seed: int = 0) -> FigureResult:
+def ablate_parent_choice(*, seed: int = 0, engine: str = "detailed") -> FigureResult:
     """Random qualified parent (deployed) vs most-advanced-buffer parent."""
     base = SystemConfig(n_servers=2)
     return _compare(
@@ -126,10 +133,11 @@ def ablate_parent_choice(*, seed: int = 0) -> FigureResult:
             "best": base.with_overrides(parent_choice="best"),
         },
         seed=seed,
+        engine=engine,
     )
 
 
-def ablate_mcache_policy(*, seed: int = 0) -> FigureResult:
+def ablate_mcache_policy(*, seed: int = 0, engine: str = "detailed") -> FigureResult:
     """Random mCache replacement (deployed) vs age-biased (suggested)."""
     base = SystemConfig(n_servers=2)
     return _compare(
@@ -139,11 +147,12 @@ def ablate_mcache_policy(*, seed: int = 0) -> FigureResult:
             "age (suggested)": base.with_overrides(mcache_replacement="age"),
         },
         seed=seed,
+        engine=engine,
         burst_users_per_s=1.6,
     )
 
 
-def ablate_cooldown(*, seed: int = 0) -> FigureResult:
+def ablate_cooldown(*, seed: int = 0, engine: str = "detailed") -> FigureResult:
     """The T_a cool-down damper on adaptation chain reactions."""
     base = SystemConfig(n_servers=2)
     return _compare(
@@ -153,13 +162,14 @@ def ablate_cooldown(*, seed: int = 0) -> FigureResult:
             "cooldown off": base.with_overrides(cooldown_enabled=False),
         },
         seed=seed,
+        engine=engine,
         metric_keys=(
             "ready_median_s", "success_fraction", "continuity", "adaptations",
         ),
     )
 
 
-def ablate_delivery_mode(*, seed: int = 0) -> FigureResult:
+def ablate_delivery_mode(*, seed: int = 0, engine: str = "detailed") -> FigureResult:
     """Push (the measured system) vs pull (the DONet [3] baseline).
 
     The paper's lineage moved from per-block pulling to sub-stream
@@ -175,6 +185,7 @@ def ablate_delivery_mode(*, seed: int = 0) -> FigureResult:
             "pull (DONet)": base.with_overrides(delivery_mode="pull"),
         },
         seed=seed,
+        engine=engine,
     )
     # add the control-overhead comparison: pull requests vs subscriptions
     from repro.workload.scenarios import flash_crowd_storm
@@ -200,7 +211,7 @@ def ablate_delivery_mode(*, seed: int = 0) -> FigureResult:
     return result
 
 
-def ablate_substreams(*, seed: int = 0,
+def ablate_substreams(*, seed: int = 0, engine: str = "detailed",
                       k_values: Sequence[int] = (1, 2, 4, 8)) -> FigureResult:
     """Sub-stream count K: delivery diversity vs per-stream granularity."""
     base = SystemConfig(n_servers=2)
@@ -208,4 +219,5 @@ def ablate_substreams(*, seed: int = 0,
         "Ablation A5", "Number of sub-streams K (Section VI claim 3)",
         {f"K={k}": base.with_overrides(n_substreams=k) for k in k_values},
         seed=seed,
+        engine=engine,
     )

@@ -8,10 +8,17 @@ Usage::
     python -m repro fig9 --seed 1 --jobs 4    # parallel sweep points
     python -m repro all                  # everything (several minutes)
     python -m repro ablations            # design-choice ablations
+    python -m repro fig5 --engine detailed    # override the engine
+    python -m repro parity --scenario steady_audience   # cross-engine check
     python -m repro campaign run spec.json --jobs 4   # see repro.campaign
 
 Each command runs the corresponding experiment at the default benchmark
 scale and prints the rendered tables/series.
+
+``--engine {detailed,fast}`` overrides the engine an experiment runs on
+(each has a sensible default: protocol figures use the event-driven
+engine, population-scale figures the fluid one).  Experiments that are
+engine-specific (table1, model, convergence) ignore the flag.
 
 Observability (any subcommand)::
 
@@ -60,16 +67,29 @@ from repro.experiments.ablations import (
 
 __all__ = ["main", "EXPERIMENTS"]
 
+def _engine_kw(engine: Optional[str]) -> Dict[str, str]:
+    """``{"engine": ...}`` when an override was given, else ``{}`` so the
+    experiment's own per-figure default applies."""
+    return {} if engine is None else {"engine": engine}
+
+
 EXPERIMENTS: Dict[str, Callable] = {
     "table1": lambda seed, jobs=1: table1(),
-    "fig3": lambda seed, jobs=1: fig3_user_types_and_contribution(seed=seed),
+    "fig3": lambda seed, jobs=1, engine=None: fig3_user_types_and_contribution(
+        seed=seed, **_engine_kw(engine)),
     "fig4": lambda seed, jobs=1: fig4_overlay_structure(seed=seed),
-    "fig5": lambda seed, jobs=1: fig5_user_evolution(seed=seed),
-    "fig6": lambda seed, jobs=1: fig6_join_time_cdfs(seed=seed),
-    "fig7": lambda seed, jobs=1: fig7_ready_time_by_period(seed=seed),
-    "fig8": lambda seed, jobs=1: fig8_continuity_by_type(seed=seed),
-    "fig9": lambda seed, jobs=1: fig9_scalability(seed=seed, jobs=jobs),
-    "fig10": lambda seed, jobs=1: fig10_sessions_and_retries(seed=seed),
+    "fig5": lambda seed, jobs=1, engine=None: fig5_user_evolution(
+        seed=seed, **_engine_kw(engine)),
+    "fig6": lambda seed, jobs=1, engine=None: fig6_join_time_cdfs(
+        seed=seed, **_engine_kw(engine)),
+    "fig7": lambda seed, jobs=1, engine=None: fig7_ready_time_by_period(
+        seed=seed, **_engine_kw(engine)),
+    "fig8": lambda seed, jobs=1, engine=None: fig8_continuity_by_type(
+        seed=seed, **_engine_kw(engine)),
+    "fig9": lambda seed, jobs=1, engine=None: fig9_scalability(
+        seed=seed, jobs=jobs, **_engine_kw(engine)),
+    "fig10": lambda seed, jobs=1, engine=None: fig10_sessions_and_retries(
+        seed=seed, **_engine_kw(engine)),
     "model": lambda seed, jobs=1: validate_dynamics_equations(seed=seed),
     "convergence": lambda seed, jobs=1: validate_convergence_model(seed=seed),
 }
@@ -85,15 +105,20 @@ ABLATIONS: Dict[str, Callable] = {
 
 
 def _run_one(name: str, fn: Callable, seed: int, *, jobs: int = 1,
-             quiet: bool = False) -> None:
+             engine: Optional[str] = None, quiet: bool = False) -> None:
     t0 = time.perf_counter()
-    # registry entries take (seed, jobs); tolerate externally registered
-    # seed-only callables
+    # registry entries take (seed, jobs[, engine]); tolerate externally
+    # registered seed-only callables
     try:
-        accepts_jobs = "jobs" in inspect.signature(fn).parameters
+        params = inspect.signature(fn).parameters
     except (TypeError, ValueError):  # pragma: no cover - builtins etc.
-        accepts_jobs = False
-    result = fn(seed, jobs=jobs) if accepts_jobs else fn(seed)
+        params = {}
+    kwargs = {}
+    if "jobs" in params:
+        kwargs["jobs"] = jobs
+    if "engine" in params and engine is not None:
+        kwargs["engine"] = engine
+    result = fn(seed, **kwargs) if params else fn(seed)
     elapsed = time.perf_counter() - t0
     if not quiet:
         print(result.render())
@@ -123,6 +148,11 @@ def main(argv=None) -> int:
         from repro.campaign.cli import main as campaign_main
 
         return campaign_main(argv[1:])
+    if argv and argv[0] == "parity":
+        # the cross-engine parity harness has its own flags
+        from repro.runtime.parity import main as parity_main
+
+        return parity_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -138,6 +168,10 @@ def main(argv=None) -> int:
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for sweep experiments "
                              "(fig9; default 1 = in-process)")
+    parser.add_argument("--engine", choices=("detailed", "fast"),
+                        default=None,
+                        help="override the simulation engine (default: "
+                             "each experiment's documented default)")
     parser.add_argument("--metrics-out", metavar="PATH", default=None,
                         help="write a JSONL metrics time series (plus a "
                              "*.manifest.json run manifest sidecar)")
@@ -157,6 +191,7 @@ def main(argv=None) -> int:
         print("ablations")
         print("all")
         print("campaign")
+        print("parity")
         return 0
 
     if name not in EXPERIMENTS and name not in ("all", "ablations"):
@@ -169,14 +204,18 @@ def main(argv=None) -> int:
             if name == "all":
                 for key, fn in EXPERIMENTS.items():
                     _run_one(key, fn, args.seed, jobs=args.jobs,
-                             quiet=args.quiet)
+                             engine=args.engine, quiet=args.quiet)
             elif name == "ablations":
                 for key, fn in ABLATIONS.items():
-                    _run_one(key, lambda seed, jobs=1, f=fn: f(seed=seed),
-                             args.seed, quiet=args.quiet)
+                    _run_one(
+                        key,
+                        lambda seed, jobs=1, engine=None, f=fn:
+                            f(seed=seed, **_engine_kw(engine)),
+                        args.seed, engine=args.engine, quiet=args.quiet,
+                    )
             else:
                 _run_one(name, EXPERIMENTS[name], args.seed, jobs=args.jobs,
-                         quiet=args.quiet)
+                         engine=args.engine, quiet=args.quiet)
     except KeyboardInterrupt:
         print("error: interrupted", file=sys.stderr)
         return 130

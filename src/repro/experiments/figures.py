@@ -5,6 +5,13 @@ laptop (pass ``scale``/duration arguments to go bigger), analyses the
 resulting log with :mod:`repro.analysis` exactly as Section V does, and
 returns a :class:`~repro.experiments.render.FigureResult`.
 
+Every figure routes through :func:`repro.runtime.run_scenario`, so the
+``engine`` keyword switches any of them between the event-driven
+reference engine (``"detailed"``) and the vectorized fluid engine
+(``"fast"``).  Defaults preserve each figure's historical engine:
+protocol-microscope figures (3, 4, 6, 8) default to detailed,
+population-scale figures (5, 7, 9, 10) to fast.
+
 The paper-vs-measured record produced by these functions is kept in
 EXPERIMENTS.md.
 """
@@ -33,9 +40,15 @@ from repro.analysis.contribution import (
 )
 from repro.core.config import SystemConfig
 from repro.experiments.render import FigureResult, render_series, render_table
-from repro.fastsim import FastSimConfig, FastSimulation
-from repro.workload.arrivals import DiurnalProfile, FlashCrowd
-from repro.workload.scenarios import evening_broadcast, flash_crowd_storm, steady_audience
+from repro.runtime import run_scenario
+from repro.workload.arrivals import FlashCrowd
+from repro.workload.scenarios import (
+    Scenario,
+    diurnal_day,
+    flash_crowd_storm,
+    steady_audience,
+    uniform_ramp,
+)
 from repro.workload.sessions import SessionDurationModel
 
 __all__ = [
@@ -72,15 +85,15 @@ def table1(cfg: Optional[SystemConfig] = None) -> FigureResult:
 # Fig. 3: user types and upload contribution
 # ---------------------------------------------------------------------------
 def fig3_user_types_and_contribution(
-    *, seed: int = 0, rate_per_s: float = 0.4, horizon_s: float = 1200.0
+    *, seed: int = 0, rate_per_s: float = 0.4, horizon_s: float = 1200.0,
+    engine: str = "detailed",
 ) -> FigureResult:
     """Fig. 3a/3b: user type distribution and upload-byte shares.
 
     Paper: direct+UPnP are ~30% of peers yet contribute >80% of bytes.
     """
     scenario = steady_audience(rate_per_s=rate_per_s, horizon_s=horizon_s)
-    system, _pop = scenario.run(seed=seed)
-    log = system.log
+    log = run_scenario(scenario, seed=seed, engine=engine).log
     types = classify_users(log)
     dist = type_distribution(types)
     per_type = contribution_by_type(log, types)
@@ -164,7 +177,7 @@ def fig4_overlay_structure(
 # ---------------------------------------------------------------------------
 def fig5_user_evolution(
     *, seed: int = 0, day_seconds: float = 14_400.0, peak_rate: float = 2.0,
-    n_servers: int = 6,
+    n_servers: int = 6, engine: str = "fast",
 ) -> FigureResult:
     """Fig. 5a/5b: concurrent users over a (scaled) day and its evening.
 
@@ -172,22 +185,15 @@ def fig5_user_evolution(
     scaled onto ``day_seconds``); the curve must ramp steeply to the peak
     and collapse at the ending, as measured on 2006-09-27.
     """
-    cfg = SystemConfig(n_servers=n_servers)
-    sim = FastSimulation(cfg, seed=seed, capacity_hint=8192)
-    rng = sim.rng.stream("workload.arrivals")
-    profile = DiurnalProfile.evening_peak(
-        day_seconds=day_seconds, peak_rate=peak_rate
-    )
-    times = profile.sample(day_seconds, rng)
-    durations = SessionDurationModel(
-        lognorm_median_s=0.08 * day_seconds, pareto_scale_s=0.2 * day_seconds
-    ).sample(sim.rng.stream("workload.durations"), len(times))
-    sim.add_arrivals(times, durations)
     program_end = 22.0 / 24.0 * day_seconds
-    sim.add_program_ending(program_end, 0.75)
-    sim.run(until=day_seconds)
+    scenario = diurnal_day(
+        day_seconds=day_seconds, peak_rate=peak_rate, n_servers=n_servers,
+        program_ending=(program_end, 0.75),
+    )
+    res = run_scenario(scenario, seed=seed, engine=engine,
+                       capacity_hint=8192)
 
-    table = SessionTable.from_log(sim.log)
+    table = SessionTable.from_log(res.log)
     grid, counts = table.concurrent_users(step_s=day_seconds / 288, t1=day_seconds)
     evening0 = 18.0 / 24.0 * day_seconds
     mask = grid >= evening0
@@ -203,7 +209,7 @@ def fig5_user_evolution(
     result.metrics["drop_after_program_end"] = float(
         1.0 - after_end / max(1.0, counts[peak_idx])
     )
-    result.metrics["arrived_users"] = float(len(times))
+    result.metrics["arrived_users"] = float(res.workload.n_users)
     result.note("paper: ramp to ~40,000 peak; sharp drop at ~22:00 program end")
     return result
 
@@ -213,6 +219,7 @@ def fig5_user_evolution(
 # ---------------------------------------------------------------------------
 def fig6_join_time_cdfs(
     *, seed: int = 0, burst_users_per_s: float = 1.2, horizon_s: float = 900.0,
+    engine: str = "detailed",
 ) -> FigureResult:
     """Fig. 6: CDFs of start-subscription time, media-player-ready time and
     their difference (the buffer-fill wait).
@@ -223,8 +230,8 @@ def fig6_join_time_cdfs(
     scenario = flash_crowd_storm(
         burst_users_per_s=burst_users_per_s, horizon_s=horizon_s, n_servers=3
     )
-    system, _pop = scenario.run(seed=seed)
-    table = SessionTable.from_log(system.log)
+    res = run_scenario(scenario, seed=seed, engine=engine)
+    table = SessionTable.from_log(res.log)
     subs = table.subscription_delays()
     ready = table.ready_delays()
     diff = table.buffering_delays()
@@ -261,7 +268,7 @@ def fig6_join_time_cdfs(
 # ---------------------------------------------------------------------------
 def fig7_ready_time_by_period(
     *, seed: int = 0, day_seconds: float = 14_400.0, peak_rate: float = 2.0,
-    n_servers: int = 6,
+    n_servers: int = 6, engine: str = "fast",
 ) -> FigureResult:
     """Fig. 7: media-player-ready-time distribution in four day periods.
 
@@ -269,20 +276,13 @@ def fig7_ready_time_by_period(
     (iv) 20:30-23:59, scaled onto our day; period (iii) -- the steep ramp
     -- shows the longest ready times.
     """
-    cfg = SystemConfig(n_servers=n_servers)
-    sim = FastSimulation(cfg, seed=seed, capacity_hint=8192)
-    rng = sim.rng.stream("workload.arrivals")
-    profile = DiurnalProfile.evening_peak(
-        day_seconds=day_seconds, peak_rate=peak_rate
+    scenario = diurnal_day(
+        day_seconds=day_seconds, peak_rate=peak_rate, n_servers=n_servers,
     )
-    times = profile.sample(day_seconds, rng)
-    durations = SessionDurationModel(
-        lognorm_median_s=0.08 * day_seconds, pareto_scale_s=0.2 * day_seconds
-    ).sample(sim.rng.stream("workload.durations"), len(times))
-    sim.add_arrivals(times, durations)
-    sim.run(until=day_seconds)
+    res = run_scenario(scenario, seed=seed, engine=engine,
+                       capacity_hint=8192)
 
-    table = SessionTable.from_log(sim.log)
+    table = SessionTable.from_log(res.log)
     h = day_seconds / 24.0
     periods = {
         "(i) 01:00-13:29": (1.0 * h, 13.49 * h),
@@ -324,6 +324,7 @@ def fig7_ready_time_by_period(
 # ---------------------------------------------------------------------------
 def fig8_continuity_by_type(
     *, seed: int = 0, rate_per_s: float = 0.5, horizon_s: float = 1800.0,
+    engine: str = "detailed",
 ) -> FigureResult:
     """Fig. 8: average continuity index vs time per user connection type.
 
@@ -334,8 +335,7 @@ def fig8_continuity_by_type(
     """
     scenario = steady_audience(rate_per_s=rate_per_s, horizon_s=horizon_s,
                                n_servers=3)
-    system, _pop = scenario.run(seed=seed)
-    log = system.log
+    log = run_scenario(scenario, seed=seed, engine=engine).log
     types = classify_users(log)
     series = continuity_by_type(log, bin_s=300.0, types=types, t1=horizon_s)
 
@@ -370,7 +370,7 @@ def fig8_continuity_by_type(
 # ---------------------------------------------------------------------------
 def fig9_size_point(
     *, seed: int = 0, n_users: int = 1000, horizon_s: float = 1200.0,
-    n_servers: int = 4,
+    n_servers: int = 4, engine: str = "fast",
 ) -> FigureResult:
     """One Fig. 9a sweep point: mean continuity at ``n_users`` arrivals.
 
@@ -378,36 +378,27 @@ def fig9_size_point(
     what lets the campaign executor fan the sweep out across workers
     bit-identically to the sequential loop.
     """
-    cfg = SystemConfig(n_servers=n_servers)
-    sim = FastSimulation(cfg, seed=seed, capacity_hint=2 * n_users + 64)
-    rng = sim.rng.stream("workload.arrivals")
-    ramp = 0.25 * horizon_s
-    times = np.sort(rng.uniform(0.0, ramp, size=n_users))
-    durations = np.full(n_users, horizon_s)  # stay to the end
-    sim.add_arrivals(times, durations)
-    sim.run(until=horizon_s)
-    cont = mean_continuity(sim.log, after=0.4 * horizon_s)
+    scenario = uniform_ramp(n_users=n_users, horizon_s=horizon_s,
+                            n_servers=n_servers)
+    res = run_scenario(scenario, seed=seed, engine=engine)
+    cont = mean_continuity(res.log, after=0.4 * horizon_s)
     result = FigureResult("Fig. 9a point", f"continuity at N={n_users}")
     result.metrics["continuity"] = cont
     result.metrics["n_users"] = float(n_users)
-    result.metrics["playing_at_end"] = float(sim.playing_users)
+    result.metrics["playing_at_end"] = res.metrics()["playing_users"]
     return result
 
 
 def fig9_rate_point(
     *, seed: int = 0, rate: float = 1.0, horizon_s: float = 1200.0,
-    n_servers: int = 4,
+    n_servers: int = 4, engine: str = "fast",
 ) -> FigureResult:
     """One Fig. 9b sweep point: mean continuity at join rate ``rate``/s."""
-    cfg = SystemConfig(n_servers=n_servers)
     n_users = int(rate * 0.25 * horizon_s)
-    sim = FastSimulation(cfg, seed=seed, capacity_hint=2 * n_users + 64)
-    rng = sim.rng.stream("workload.arrivals")
-    times = np.sort(rng.uniform(0.0, 0.25 * horizon_s, size=n_users))
-    durations = np.full(n_users, horizon_s)
-    sim.add_arrivals(times, durations)
-    sim.run(until=horizon_s)
-    cont = mean_continuity(sim.log, after=0.4 * horizon_s)
+    scenario = uniform_ramp(n_users=n_users, horizon_s=horizon_s,
+                            n_servers=n_servers)
+    res = run_scenario(scenario, seed=seed, engine=engine)
+    cont = mean_continuity(res.log, after=0.4 * horizon_s)
     result = FigureResult("Fig. 9b point", f"continuity at {rate:g}/s")
     result.metrics["continuity"] = cont
     result.metrics["rate"] = float(rate)
@@ -418,7 +409,7 @@ def fig9_rate_point(
 def fig9_scalability(
     *, seed: int = 0, sizes: tuple = (250, 500, 1000, 2000, 4000),
     join_rates: tuple = (0.5, 1.0, 2.0, 4.0, 8.0),
-    horizon_s: float = 1200.0, jobs: int = 1,
+    horizon_s: float = 1200.0, jobs: int = 1, engine: str = "fast",
 ) -> FigureResult:
     """Fig. 9a/9b: average continuity vs system size and vs join rate.
 
@@ -430,13 +421,19 @@ def fig9_scalability(
     (:func:`fig9_size_point` at seed ``seed+i``, :func:`fig9_rate_point`
     at ``seed+100+i``); ``jobs > 1`` fans them out over the campaign
     executor's worker pool with results bit-identical to ``jobs=1``.
+    A non-default ``engine`` is threaded into every point's overrides
+    (and hence into campaign run keys).
     """
+    # only non-default engines enter the overrides: the default sweep's
+    # content-addressed run keys (and cached results) stay valid
+    extra = {} if engine == "fast" else {"engine": engine}
     point_specs = [
-        ("fig9_size", seed + i, {"n_users": int(n), "horizon_s": horizon_s})
+        ("fig9_size", seed + i,
+         {"n_users": int(n), "horizon_s": horizon_s, **extra})
         for i, n in enumerate(sizes)
     ] + [
-        ("fig9_rate", seed + 100 + i, {"rate": float(r),
-                                       "horizon_s": horizon_s})
+        ("fig9_rate", seed + 100 + i,
+         {"rate": float(r), "horizon_s": horizon_s, **extra})
         for i, r in enumerate(join_rates)
     ]
 
@@ -505,29 +502,30 @@ def fig9_scalability(
 # ---------------------------------------------------------------------------
 def fig10_sessions_and_retries(
     *, seed: int = 0, burst_users_per_s: float = 3.0, horizon_s: float = 1800.0,
-    n_servers: int = 4,
+    n_servers: int = 4, engine: str = "fast",
 ) -> FigureResult:
     """Fig. 10a/10b: session-duration distribution and retry counts.
 
     Paper: heavy-tailed durations plus a spike of <1-minute sessions
     (failed joins); ~20% of users retried 1-2 times.
     """
-    cfg = SystemConfig(n_servers=n_servers)
-    sim = FastSimulation(cfg, seed=seed, capacity_hint=8192)
-    rng = sim.rng.stream("workload.arrivals")
-    arr = FlashCrowd(
-        start_s=0.02 * horizon_s, ramp_s=0.15 * horizon_s,
-        hold_s=0.4 * horizon_s, decay_s=0.15 * horizon_s,
-        peak_rate=burst_users_per_s, base_rate=0.1,
+    scenario = Scenario(
+        name="fig10_flash",
+        cfg=SystemConfig(n_servers=n_servers),
+        arrivals=FlashCrowd(
+            start_s=0.02 * horizon_s, ramp_s=0.15 * horizon_s,
+            hold_s=0.4 * horizon_s, decay_s=0.15 * horizon_s,
+            peak_rate=burst_users_per_s, base_rate=0.1,
+        ),
+        horizon_s=horizon_s,
+        duration_model=SessionDurationModel(
+            lognorm_median_s=0.2 * horizon_s, pareto_scale_s=0.5 * horizon_s
+        ),
     )
-    times = arr.sample(horizon_s, rng)
-    durations = SessionDurationModel(
-        lognorm_median_s=0.2 * horizon_s, pareto_scale_s=0.5 * horizon_s
-    ).sample(sim.rng.stream("workload.durations"), len(times))
-    sim.add_arrivals(times, durations)
-    sim.run(until=horizon_s)
+    res = run_scenario(scenario, seed=seed, engine=engine,
+                       capacity_hint=8192)
 
-    table = SessionTable.from_log(sim.log)
+    table = SessionTable.from_log(res.log)
     durs = table.durations()
     cdf = Cdf.from_samples(durs)
     result = FigureResult("Fig. 10", "Session durations and re-try sessions")

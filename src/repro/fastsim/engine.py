@@ -87,6 +87,10 @@ class FastSimConfig:
             raise ValueError("candidates_per_try must be >= 1")
         if not (0.0 <= self.nat_parent_prob <= 1.0):
             raise ValueError("nat_parent_prob must be a probability")
+        if self.join_overhead_s < 0:
+            raise ValueError("join_overhead_s must be non-negative")
+        if self.max_children_factor < 1:
+            raise ValueError("max_children_factor must be >= 1")
 
 
 class FastSimulation:

@@ -108,6 +108,7 @@ class Engine:
         """Timestamp of the next live event, or ``None`` if the heap is empty."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self.events_cancelled += 1
         return self._heap[0].time if self._heap else None
 
     # ------------------------------------------------------------------

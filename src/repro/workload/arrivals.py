@@ -20,6 +20,7 @@ __all__ = [
     "PoissonArrivals",
     "DiurnalProfile",
     "FlashCrowd",
+    "UniformBurst",
     "merge_arrivals",
 ]
 
@@ -178,6 +179,36 @@ class FlashCrowd:
     def sample(self, horizon_s: float, rng: np.random.Generator) -> np.ndarray:
         """Sorted arrival times over the horizon."""
         return _thin(self.rate_at, self.peak_rate, horizon_s, rng)
+
+
+@dataclass(frozen=True)
+class UniformBurst:
+    """Exactly ``n_users`` arrivals uniform on ``[t0, t1)``.
+
+    The Fig. 9 sweep workload: the point of the sweep is continuity *at a
+    known population size*, so the count is fixed rather than Poisson --
+    sampling draws arrival times only.
+    """
+
+    n_users: int
+    t0: float = 0.0
+    t1: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_users < 0:
+            raise ValueError("n_users must be non-negative")
+        if self.t1 <= self.t0:
+            raise ValueError("need t0 < t1")
+
+    def rate_at(self, t: float) -> float:
+        """Mean arrival rate (users/s) at time ``t``."""
+        if self.t0 <= t < self.t1:
+            return self.n_users / (self.t1 - self.t0)
+        return 0.0
+
+    def sample(self, horizon_s: float, rng: np.random.Generator) -> np.ndarray:
+        """Sorted arrival times (the count is deterministic)."""
+        return np.sort(rng.uniform(self.t0, self.t1, size=self.n_users))
 
 
 def merge_arrivals(streams: Sequence[np.ndarray]) -> np.ndarray:

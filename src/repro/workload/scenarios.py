@@ -23,21 +23,42 @@ from repro.workload.arrivals import (
     DiurnalProfile,
     FlashCrowd,
     PoissonArrivals,
+    UniformBurst,
 )
-from repro.workload.sessions import ProgramSchedule, SessionDurationModel
+from repro.workload.sessions import (
+    FixedDuration,
+    ProgramSchedule,
+    SessionDurationModel,
+)
 from repro.workload.users import UserPopulation
 
-__all__ = ["Scenario", "evening_broadcast", "steady_audience", "flash_crowd_storm"]
+__all__ = [
+    "Scenario",
+    "evening_broadcast",
+    "steady_audience",
+    "flash_crowd_storm",
+    "diurnal_day",
+    "uniform_ramp",
+]
 
 
 @dataclass
 class Scenario:
-    """A fully specified experiment: system config + workload + horizon."""
+    """A fully specified experiment: system config + workload + horizon.
+
+    A scenario is pure data; execution belongs to :mod:`repro.runtime`,
+    which can drive it on either engine
+    (``run_scenario(scenario, seed, engine="detailed"|"fast")``).  The
+    :meth:`build`/:meth:`run` methods remain as thin detailed-engine
+    shims over that runtime for existing callers.
+    """
 
     name: str
     cfg: SystemConfig
     arrivals: ArrivalProcess
     horizon_s: float
+    # any object with .sample(rng, n) -> durations; usually a
+    # SessionDurationModel, FixedDuration for census-style sweeps
     duration_model: SessionDurationModel = field(default_factory=SessionDurationModel)
     schedule: ProgramSchedule = field(default_factory=ProgramSchedule)
     connectivity_mix: Optional[ConnectivityMix] = None
@@ -45,30 +66,23 @@ class Scenario:
     silent_leave_prob: float = 0.1
 
     def build(self, seed: int = 0) -> tuple[CoolstreamingSystem, UserPopulation]:
-        """Instantiate the system and its audience (nothing runs yet)."""
-        system = CoolstreamingSystem(
-            self.cfg,
-            seed=seed,
-            capacity_model=self.capacity_model,
-            connectivity_mix=self.connectivity_mix,
-        )
-        rng = system.rng.stream("workload.arrivals")
-        times = self.arrivals.sample(self.horizon_s, rng)
-        population = UserPopulation(
-            system,
-            arrival_times=times,
-            duration_model=self.duration_model,
-            schedule=self.schedule,
-            silent_leave_prob=self.silent_leave_prob,
-        )
-        population.attach()
-        return system, population
+        """Instantiate the system and its audience (nothing runs yet).
+
+        Thin shim over :func:`repro.runtime.build_backend` with the
+        detailed engine; bit-identical to the historical inline wiring.
+        """
+        from repro.runtime import build_backend  # deferred: runtime imports us
+
+        backend = build_backend(self, seed=seed, engine="detailed")
+        backend.materialize()
+        return backend.system, backend.population
 
     def run(self, seed: int = 0) -> tuple[CoolstreamingSystem, UserPopulation]:
-        """Build and run to the horizon."""
-        system, population = self.build(seed)
-        system.run(until=self.horizon_s)
-        return system, population
+        """Build and run to the horizon (detailed-engine shim)."""
+        from repro.runtime import run_scenario  # deferred: runtime imports us
+
+        res = run_scenario(self, seed=seed, engine="detailed")
+        return res.system, res.population
 
 
 def evening_broadcast(
@@ -132,6 +146,70 @@ def steady_audience(
         cfg=system_cfg,
         arrivals=PoissonArrivals(rate_per_s),
         horizon_s=horizon_s,
+    )
+
+
+def diurnal_day(
+    *,
+    day_seconds: float = 14_400.0,
+    peak_rate: float = 2.0,
+    n_servers: int = 6,
+    program_ending: Optional[tuple[float, float]] = None,
+    cfg: Optional[SystemConfig] = None,
+) -> Scenario:
+    """The full (scaled) broadcast day of Figs. 5 and 7.
+
+    A diurnal arrival profile peaking in "prime time"; with
+    ``program_ending=(time_s, leave_prob)`` the 22:00 cliff is
+    superimposed (Fig. 5), without it the day runs out smoothly (Fig. 7's
+    per-period ready-time slices).
+    """
+    if day_seconds <= 0:
+        raise ValueError("day_seconds must be positive")
+    base_cfg = cfg or SystemConfig()
+    system_cfg = base_cfg.with_overrides(n_servers=n_servers)
+    schedule = (
+        ProgramSchedule.single_ending(*program_ending)
+        if program_ending is not None else ProgramSchedule()
+    )
+    return Scenario(
+        name="diurnal_day",
+        cfg=system_cfg,
+        arrivals=DiurnalProfile.evening_peak(
+            day_seconds=day_seconds, peak_rate=peak_rate
+        ),
+        horizon_s=day_seconds,
+        duration_model=SessionDurationModel(
+            lognorm_median_s=0.08 * day_seconds,
+            pareto_scale_s=0.2 * day_seconds,
+        ),
+        schedule=schedule,
+    )
+
+
+def uniform_ramp(
+    *,
+    n_users: int,
+    horizon_s: float = 1_200.0,
+    ramp_frac: float = 0.25,
+    n_servers: int = 4,
+    cfg: Optional[SystemConfig] = None,
+) -> Scenario:
+    """Exactly ``n_users`` arrivals over the first ``ramp_frac`` of the
+    horizon, everyone staying to the end -- the Fig. 9 sweep workload,
+    where continuity is measured at a known population size.
+    """
+    if not (0.0 < ramp_frac <= 1.0):
+        raise ValueError("ramp_frac must be in (0, 1]")
+    base_cfg = cfg or SystemConfig()
+    system_cfg = base_cfg.with_overrides(n_servers=n_servers)
+    return Scenario(
+        name="uniform_ramp",
+        cfg=system_cfg,
+        arrivals=UniformBurst(n_users=int(n_users), t0=0.0,
+                              t1=ramp_frac * horizon_s),
+        horizon_s=horizon_s,
+        duration_model=FixedDuration(horizon_s),
     )
 
 

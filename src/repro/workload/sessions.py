@@ -20,7 +20,7 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["SessionDurationModel", "ProgramSchedule"]
+__all__ = ["SessionDurationModel", "FixedDuration", "ProgramSchedule"]
 
 
 @dataclass(frozen=True)
@@ -70,6 +70,27 @@ class SessionDurationModel:
     def mean_estimate(self, rng: np.random.Generator, n: int = 50_000) -> float:
         """Monte-Carlo mean (the analytic mean diverges for alpha <= 1)."""
         return float(np.mean(self.sample(rng, n)))
+
+
+@dataclass(frozen=True)
+class FixedDuration:
+    """Every user intends to watch exactly ``duration_s`` seconds.
+
+    Used by the Fig. 9 sweeps, where everyone staying to the horizon is
+    what isolates continuity from churn.  ``sample`` consumes no random
+    numbers, so the durations stream stays untouched (bit-compatible with
+    workloads that never drew from it).
+    """
+
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        """``n`` copies of the fixed duration (no RNG draws)."""
+        return np.full(int(n), float(self.duration_s))
 
 
 @dataclass(frozen=True)

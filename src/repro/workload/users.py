@@ -149,6 +149,7 @@ class UserPopulation:
         system: CoolstreamingSystem,
         *,
         arrival_times: np.ndarray,
+        durations: Optional[np.ndarray] = None,
         duration_model: Optional[SessionDurationModel] = None,
         schedule: Optional[ProgramSchedule] = None,
         silent_leave_prob: float = 0.1,
@@ -158,8 +159,14 @@ class UserPopulation:
         self.duration_model = duration_model or SessionDurationModel()
         self.schedule = schedule or ProgramSchedule()
         self.users: List[UserAgent] = []
-        rng = system.rng.stream("workload.durations")
-        durations = self.duration_model.sample(rng, len(arrival_times))
+        if durations is None:
+            # legacy path: sample here from the system hub's canonical
+            # stream -- byte-identical to what repro.runtime pre-samples
+            # from a standalone hub with the same seed
+            rng = system.rng.stream("workload.durations")
+            durations = self.duration_model.sample(rng, len(arrival_times))
+        elif len(durations) != len(arrival_times):
+            raise ValueError("durations must align with arrival_times")
         cfg = system.cfg
         for i, (t, dur) in enumerate(zip(np.asarray(arrival_times), durations)):
             self.users.append(

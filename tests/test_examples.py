@@ -55,6 +55,13 @@ def test_observed_run():
     assert "config_hash=" in out
 
 
+def test_parity_run():
+    out = run_example("parity_run.py", timeout=600)
+    assert "[detailed]" in out
+    assert "[fast]" in out
+    assert "PARITY OK" in out
+
+
 def test_multichannel_evening():
     out = run_example("multichannel_evening.py", timeout=600)
     assert "platform total" in out

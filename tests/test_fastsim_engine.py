@@ -38,6 +38,10 @@ class TestSetup:
             FastSimConfig(catchup_factor=0.5)
         with pytest.raises(ValueError):
             FastSimConfig(nat_parent_prob=2.0)
+        with pytest.raises(ValueError):
+            FastSimConfig(join_overhead_s=-0.1)
+        with pytest.raises(ValueError):
+            FastSimConfig(max_children_factor=0)
 
     def test_misaligned_arrivals_rejected(self):
         sim = make_sim()

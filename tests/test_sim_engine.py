@@ -117,6 +117,18 @@ class TestCancellation:
         ev.cancel()
         assert eng.peek() == 5.0
 
+    def test_peek_counts_dropped_cancelled_events(self):
+        eng = Engine()
+        evs = [eng.schedule(t, lambda: None) for t in (1.0, 2.0, 3.0)]
+        evs[0].cancel()
+        evs[1].cancel()
+        assert eng.peek() == 3.0
+        assert eng.events_cancelled == 2
+        # the run loop must not re-count events peek already dropped
+        eng.run()
+        assert eng.events_cancelled == 2
+        assert eng.events_processed == 1
+
 
 class TestRunControl:
     def test_until_excludes_later_events(self):
