@@ -8,7 +8,6 @@ three seeds and asserting the claim on the *worst* replicate:
 * the Eq. 6 closed form's Monte Carlo agreement.
 """
 
-from conftest import run_once
 
 from repro.experiments import (
     fig3_user_types_and_contribution,

@@ -13,7 +13,6 @@ Run:  python examples/broadcast_event.py          (about a minute)
 
 import sys
 
-import numpy as np
 
 from repro.analysis import Cdf, SessionTable
 from repro.analysis.continuity import continuity_timeseries, mean_continuity

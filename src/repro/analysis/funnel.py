@@ -14,8 +14,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
-
 from repro.analysis.sessions import SessionTable
 from repro.telemetry.server import LogServer
 

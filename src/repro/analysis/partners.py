@@ -9,7 +9,6 @@ churn the paper describes qualitatively (Section V.B: unstable peers
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np

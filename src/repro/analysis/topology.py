@@ -13,10 +13,9 @@ over time).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict
 
 import networkx as nx
-import numpy as np
 
 from repro.network.connectivity import ConnectivityClass
 

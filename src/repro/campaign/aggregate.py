@@ -13,7 +13,7 @@ from __future__ import annotations
 import json
 import math
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.campaign.runner import CampaignReport, RunResult
 from repro.experiments.replication import MetricSummary, ReplicationResult

@@ -24,7 +24,6 @@ from __future__ import annotations
 import argparse
 import contextlib
 import sys
-from typing import Optional
 
 import repro.obs as obs
 from repro.campaign.aggregate import to_replication, write_metrics_json

@@ -193,7 +193,7 @@ def _execute_run(
     """Run one experiment (in a worker or, for jobs=1, in-process) and
     return an outcome dict — exceptions are captured, never propagated, so
     the scheduling loop owns the retry decision."""
-    t0 = perf_counter()
+    t0 = perf_counter()  # repro: noqa[DET002] orchestration wall time, not simulation state
     try:
         fn = resolve_experiment(experiment)
         with _alarm(timeout_s):
@@ -202,7 +202,7 @@ def _execute_run(
         # function of (experiment, overrides, seed, code), byte-identical
         # across runs and worker counts; wall time goes in the sidecar
         return {"ok": True, "payload": _payload_from(result),
-                "wall_time_s": perf_counter() - t0}
+                "wall_time_s": perf_counter() - t0}  # repro: noqa[DET002] orchestration wall time, not simulation state
     except (KeyboardInterrupt, SystemExit):
         raise
     except BaseException as exc:
@@ -210,7 +210,7 @@ def _execute_run(
             "ok": False,
             "error": f"{type(exc).__name__}: {exc}",
             "error_types": [c.__name__ for c in type(exc).__mro__],
-            "wall_time_s": perf_counter() - t0,
+            "wall_time_s": perf_counter() - t0,  # repro: noqa[DET002] orchestration wall time, not simulation state
         }
 
 
@@ -227,12 +227,12 @@ class _Heartbeat:
         self._enabled = enabled
         self._interval = interval_s
         self._stream = stream
-        self._t0 = perf_counter()
+        self._t0 = perf_counter()  # repro: noqa[DET002] progress heartbeat pacing
         self._t_last = self._t0
 
     def tick(self, *, done: int, cached: int, failed: int, running: int,
              force: bool = False) -> None:
-        now = perf_counter()
+        now = perf_counter()  # repro: noqa[DET002] progress heartbeat pacing
         finished = done + cached + failed
         ctx = obs.current()
         if ctx is not None:
@@ -286,7 +286,7 @@ def run_campaign(
     """
     jobs = max(1, int(jobs if jobs is not None else (os.cpu_count() or 1)))
     stream = stream if stream is not None else sys.stderr
-    t0 = perf_counter()
+    t0 = perf_counter()  # repro: noqa[DET002] campaign wall time, excluded from run keys
     results: Dict[str, RunResult] = {}
 
     def journal(event: str, run: Optional[RunSpec] = None, **fields) -> None:
@@ -313,7 +313,7 @@ def run_campaign(
             "wall_time_s": wall_s,
             "python": platform.python_version(),
             "platform": platform.platform(),
-            "written_at_unix": time.time(),
+            "written_at_unix": time.time(),  # repro: noqa[DET002] journal metadata, excluded from run keys
         }
 
     # --- phase 1: serve what the cache already has ------------------------
@@ -389,7 +389,7 @@ def run_campaign(
     report = CampaignReport(
         spec=spec,
         results=[results[r.key] for r in spec.runs if r.key in results],
-        wall_time_s=perf_counter() - t0,
+        wall_time_s=perf_counter() - t0,  # repro: noqa[DET002] campaign wall time, excluded from run keys
         jobs=jobs,
         interrupted=interrupted,
     )
@@ -461,14 +461,14 @@ def _run_pooled(pending, results, journal, record_done, record_failed,
                 and _is_transient(outcome.get("error_types", ()), transient)):
             journal("retry", run, attempt=attempts,
                     error=outcome.get("error"))
-            due = perf_counter() + backoff_s * (2 ** (attempts - 1))
+            due = perf_counter() + backoff_s * (2 ** (attempts - 1))  # repro: noqa[DET002] retry backoff deadline, host-time by design
             retry_q.append((due, run, attempts))
         else:
             record_failed(run, outcome, attempts)
 
     try:
         while queue or in_flight or retry_q:
-            now = perf_counter()
+            now = perf_counter()  # repro: noqa[DET002] retry backoff deadline, host-time by design
             if retry_q:
                 due_now = [item for item in retry_q if item[0] <= now]
                 retry_q[:] = [item for item in retry_q if item[0] > now]
@@ -479,7 +479,7 @@ def _run_pooled(pending, results, journal, record_done, record_failed,
             if not in_flight:
                 # only backoff timers outstanding
                 next_due = min(item[0] for item in retry_q)
-                time.sleep(max(0.0, min(0.5, next_due - perf_counter())))
+                time.sleep(max(0.0, min(0.5, next_due - perf_counter())))  # repro: noqa[DET002] retry backoff deadline, host-time by design
                 continue
             done_set, _ = wait(set(in_flight), timeout=0.5,
                                return_when=FIRST_COMPLETED)

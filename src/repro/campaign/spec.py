@@ -33,6 +33,7 @@ raise :class:`SpecError`, which the CLI maps to exit code 2.
 
 from __future__ import annotations
 
+import inspect
 import itertools
 import json
 from dataclasses import dataclass, field
@@ -160,6 +161,57 @@ class CampaignSpec:
         return cls.from_dict(data, **kwargs)
 
 
+def _validate_override_keys(
+    experiment: str, keys: Iterable[str], where: str
+) -> None:
+    """Reject override/grid keys the experiment callable cannot accept.
+
+    Without this, a typo'd key (``horizont_s``) is silently folded into
+    every run's content hash, the whole campaign executes -- and fails
+    (or worse, runs at defaults) while the store remembers the bogus key
+    forever.  Keys are checked against the resolved callable's keyword
+    parameters; ``**kwargs`` experiments accept anything.  References
+    that cannot be resolved here (e.g. a ``module:qualname`` only
+    importable inside workers) are left for run time, which already
+    surfaces :class:`UnknownExperimentError` as exit code 2.
+    """
+    keys = [k for k in keys]
+    if not keys:
+        return
+    # local import: registry imports this module for SpecError
+    from repro.campaign.registry import (
+        UnknownExperimentError,
+        resolve_experiment,
+    )
+    try:
+        fn = resolve_experiment(experiment)
+    except UnknownExperimentError:
+        return
+    try:
+        params = inspect.signature(fn).parameters
+    except (TypeError, ValueError):  # pragma: no cover - C callables
+        return
+    if "seed" in keys:
+        raise SpecError(
+            f"{where}: 'seed' cannot be an override; use the entry's "
+            f"'seeds' list"
+        )
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()):
+        return
+    valid = {
+        name for name, p in params.items()
+        if p.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                      inspect.Parameter.KEYWORD_ONLY)
+    }
+    unknown = sorted(set(keys) - valid)
+    if unknown:
+        accepted = sorted(valid - {"seed"})
+        raise SpecError(
+            f"{where}: override keys {unknown} are not parameters of "
+            f"experiment {experiment!r} (accepts: {accepted})"
+        )
+
+
 def _expand_entry(
     entry: Any, index: int, code_version: Optional[str]
 ) -> List[RunSpec]:
@@ -217,6 +269,8 @@ def _expand_entry(
             )
         overrides = dict(overrides)
         overrides["engine"] = engine
+    _validate_override_keys(
+        experiment, list(overrides) + list(grid), where)
 
     runs: List[RunSpec] = []
     params = sorted(grid)

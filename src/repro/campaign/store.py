@@ -114,7 +114,7 @@ class ResultStore:
     def journal(self, event: str, **fields: Any) -> None:
         """Append one event record; fsync'd so a crash loses at most the
         record being written (never corrupts earlier ones)."""
-        record = {"ts": time.time(), "event": event}
+        record = {"ts": time.time(), "event": event}  # repro: noqa[DET002] journal timestamp metadata, excluded from payload hashing
         record.update(fields)
         self.root.mkdir(parents=True, exist_ok=True)
         line = json.dumps(record, sort_keys=True, default=str)

@@ -1,0 +1,63 @@
+"""repro.check -- determinism lint for the simulation stack.
+
+The reproduction's headline guarantees (byte-identical workload
+realizations across engines, content-addressed campaign caching,
+seed-determinism regression tests) all rest on one convention: every
+stochastic or ordering-sensitive operation routes through
+:mod:`repro.sim.rng` named streams.  A single unseeded
+``random.random()``, wall-clock read, or ``set`` iteration in a hot path
+silently poisons cache keys and the parity harness.
+
+This package is a custom AST-based static-analysis pass that makes such
+regressions visible before they merge::
+
+    python -m repro check src/            # text findings, exit 1 if any
+    python -m repro check src/ --format json
+    python -m repro check --list-rules
+
+Rule catalog
+------------
+
+======  ==============================================================
+DET001  unseeded global RNG use (``random.*`` / ``numpy.random.*``
+        module-level draws) -- use :class:`repro.sim.rng.RngHub`
+DET002  wall-clock reads (``time.time``, ``datetime.now``,
+        ``perf_counter``, ...) outside the obs/telemetry allowlist
+DET003  iteration over ``set``/``frozenset`` (or ``dict.keys()``
+        feeding RNG draws): hash-order-dependent behaviour
+FLT001  float ``==`` / ``!=`` comparisons outside tests
+CFG001  config dataclass numeric field lacking validation in
+        ``__post_init__`` while sibling fields are validated
+======  ==============================================================
+
+Findings are suppressed per line with ``# repro: noqa[RULE]`` (comma
+lists allowed; bare ``# repro: noqa`` suppresses every rule) plus a
+short justification comment.
+
+Exit codes: 0 clean, 1 findings, 2 usage/parse error.
+"""
+
+from repro.check.engine import (
+    CheckReport,
+    Finding,
+    Rule,
+    all_rules,
+    check_paths,
+    check_source,
+    register,
+)
+
+# importing the rule modules populates the registry
+import repro.check.rules_determinism  # noqa: F401
+import repro.check.rules_float  # noqa: F401
+import repro.check.rules_config  # noqa: F401
+
+__all__ = [
+    "CheckReport",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "check_paths",
+    "check_source",
+    "register",
+]

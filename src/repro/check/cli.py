@@ -1,0 +1,95 @@
+"""``python -m repro check`` -- run the determinism lint.
+
+Usage::
+
+    python -m repro check src/                 # text findings
+    python -m repro check src/ --format json   # machine-readable
+    python -m repro check src/repro/sim --select DET001,DET002
+    python -m repro check --list-rules
+
+Exit codes: 0 clean, 1 findings, 2 usage error / unparseable file.
+
+The JSON document is stable (schema version 1)::
+
+    {"version": 1, "files_checked": N,
+     "counts": {"DET001": 2, ...},
+     "findings": [{"rule", "message", "path", "line", "col"}, ...],
+     "errors": []}
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.check.engine import CheckError, all_rules, check_paths
+
+__all__ = ["main"]
+
+
+def _split_rules(value: Optional[str]) -> Optional[List[str]]:
+    if value is None:
+        return None
+    return [part.strip() for part in value.split(",") if part.strip()]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro check",
+        description="AST-based determinism lint for the repro codebase.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to check (default: src)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (default text)")
+    parser.add_argument("--select", metavar="RULES", default=None,
+                        help="comma-separated rule ids to run exclusively")
+    parser.add_argument("--ignore", metavar="RULES", default=None,
+                        help="comma-separated rule ids to skip")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:  # argparse exits 2 on usage errors already
+        return int(exc.code or 0)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.title}")
+            print(f"        {rule.rationale}")
+        return 0
+
+    try:
+        report = check_paths(
+            args.paths,
+            select=_split_rules(args.select),
+            ignore=_split_rules(args.ignore),
+        )
+    except CheckError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        for err in report.errors:
+            print(f"error: {err}", file=sys.stderr)
+        n = len(report.findings)
+        summary = (f"{n} finding{'s' if n != 1 else ''} "
+                   f"in {report.files_checked} files checked")
+        print(summary if n else f"clean: {summary}")
+    return report.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution hook
+    sys.exit(main())

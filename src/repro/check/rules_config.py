@@ -1,0 +1,101 @@
+"""CFG001: config dataclass fields missing ``__post_init__`` validation.
+
+The config dataclasses (``SystemConfig``, ``FastSimConfig``, ...) are
+the public override surface of every experiment and campaign: a
+mistyped override that no ``__post_init__`` guard catches runs an
+entire sweep at a nonsense operating point, and the content-addressed
+cache then remembers the garbage forever.  Where a config class already
+validates *some* fields, every numeric sibling should be validated too
+(or carry an explicit suppression stating why no constraint exists).
+
+Scope: ``@dataclass`` classes whose name contains ``Config`` and that
+define ``__post_init__``.  Fields count as validated when
+``__post_init__`` references ``self.<field>`` anywhere (guards usually
+read the field; cross-field checks validate both operands).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from repro.check.engine import FileContext, Finding, Rule, register
+
+__all__ = ["UnvalidatedConfigField"]
+
+#: annotations treated as numeric (validatable by range checks)
+_NUMERIC_ANNOTATIONS = frozenset({"int", "float"})
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _numeric_fields(node: ast.ClassDef) -> List[Tuple[str, ast.AnnAssign]]:
+    fields: List[Tuple[str, ast.AnnAssign]] = []
+    for stmt in node.body:
+        if not (isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)):
+            continue
+        ann = stmt.annotation
+        name = None
+        if isinstance(ann, ast.Name):
+            name = ann.id
+        elif isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            name = ann.value
+        if name in _NUMERIC_ANNOTATIONS:
+            fields.append((stmt.target.id, stmt))
+    return fields
+
+
+def _self_references(fn: ast.FunctionDef) -> Set[str]:
+    refs: Set[str] = set()
+    for sub in ast.walk(fn):
+        if (isinstance(sub, ast.Attribute)
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id == "self"):
+            refs.add(sub.attr)
+    return refs
+
+
+@register
+class UnvalidatedConfigField(Rule):
+    """CFG001: numeric config field unvalidated while siblings validate."""
+
+    id = "CFG001"
+    title = "config field lacks __post_init__ validation"
+    rationale = ("configs are the campaign override surface; unvalidated "
+                 "numeric fields let nonsense operating points into the "
+                 "content-addressed cache")
+    interests = ("ClassDef",)
+
+    def on_node(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.ClassDef)
+        if "Config" not in node.name or not _is_dataclass_decorated(node):
+            return
+        post_init = next(
+            (s for s in node.body
+             if isinstance(s, ast.FunctionDef) and s.name == "__post_init__"),
+            None,
+        )
+        if post_init is None:
+            return
+        fields = _numeric_fields(node)
+        if not fields:
+            return
+        validated = _self_references(post_init)
+        if not any(name in validated for name, _ in fields):
+            return  # no sibling validates: out of this rule's scope
+        for name, stmt in fields:
+            if name not in validated:
+                yield ctx.finding(
+                    self, stmt,
+                    f"{node.name}.{name} is never referenced in "
+                    f"__post_init__ while sibling fields are validated; "
+                    f"add a range check or noqa with justification")

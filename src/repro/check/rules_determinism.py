@@ -1,0 +1,192 @@
+"""Determinism rules: global RNG, wall clocks, unordered iteration.
+
+These encode the invariants the cross-engine parity harness and the
+campaign cache depend on (DESIGN.md, PR 1-3): randomness flows through
+:class:`repro.sim.rng.RngHub` named streams only, simulation/analysis
+code never reads the wall clock, and nothing iterates a hash-ordered
+container where the order can feed RNG draws or event scheduling.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.check.engine import FileContext, Finding, Rule, register
+
+__all__ = ["UnseededGlobalRng", "WallClockRead", "UnorderedIteration"]
+
+
+#: numpy.random names that *construct seeded machinery* rather than draw
+#: from the hidden global state -- these are exactly how disciplined code
+#: builds its streams.
+_SEEDED_CONSTRUCTORS = frozenset({
+    "numpy.random.Generator",
+    "numpy.random.default_rng",
+    "numpy.random.SeedSequence",
+    "numpy.random.BitGenerator",
+    "numpy.random.PCG64",
+    "numpy.random.PCG64DXSM",
+    "numpy.random.MT19937",
+    "numpy.random.Philox",
+    "numpy.random.SFC64",
+    # legacy but explicitly seeded when constructed with a seed argument;
+    # the draw methods on the *instance* are out of static reach anyway
+    "numpy.random.RandomState",
+})
+
+#: stdlib ``random`` names that are classes, not draws from the global
+#: instance (``random.Random(seed)`` is somebody constructing a stream).
+_STDLIB_RNG_CLASSES = frozenset({
+    "random.Random",
+    "random.SystemRandom",
+})
+
+
+@register
+class UnseededGlobalRng(Rule):
+    """DET001: draws from process-global RNG state.
+
+    ``random.random()`` / ``np.random.normal()`` share one hidden global
+    generator: any new call site perturbs every downstream draw and the
+    realization stops being a pure function of ``(seed, stream name)``.
+    """
+
+    id = "DET001"
+    title = "unseeded global RNG use"
+    rationale = ("module-level random/numpy.random draws bypass RngHub "
+                 "named streams and poison seed determinism")
+    interests = ("Call",)
+
+    def on_node(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        full = ctx.resolve(node.func)
+        if full is None:
+            return
+        if full.startswith("random.") and full not in _STDLIB_RNG_CLASSES:
+            yield ctx.finding(
+                self, node,
+                f"global stdlib RNG call {full}(); draw from an "
+                f"RngHub named stream instead")
+        elif (full.startswith("numpy.random.")
+                and full not in _SEEDED_CONSTRUCTORS):
+            yield ctx.finding(
+                self, node,
+                f"global numpy RNG call {full}(); draw from an "
+                f"RngHub named stream instead")
+
+
+#: qualified names that read the host clock
+_WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+
+@register
+class WallClockRead(Rule):
+    """DET002: wall-clock reads in simulation/analysis code.
+
+    Simulated time comes from the engine; host-clock reads make results
+    (and therefore campaign cache payloads) depend on machine load.
+    Instrumentation layers are allowlisted by path: ``obs`` and
+    ``telemetry`` exist to measure wall time.
+    """
+
+    id = "DET002"
+    title = "wall-clock read outside obs/telemetry"
+    rationale = ("host-clock reads make simulation/analysis output "
+                 "machine-dependent; only instrumentation may time things")
+    interests = ("Call",)
+
+    #: path components that legitimately measure wall time
+    allowlist_parts: Tuple[str, ...] = ("obs", "telemetry")
+
+    def applies_to(self, path: str) -> bool:
+        parts = path.replace("\\", "/").split("/")
+        return not any(p in parts for p in self.allowlist_parts)
+
+    def on_node(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        full = ctx.resolve(node.func)
+        if full in _WALL_CLOCK:
+            yield ctx.finding(
+                self, node,
+                f"wall-clock read {full}(); use simulated time or move "
+                f"the measurement into obs/telemetry")
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """A literal ``{...}`` set or a direct ``set(...)``/``frozenset(...)``."""
+    if isinstance(node, ast.Set):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def _is_keys_call(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "keys")
+
+
+#: ``<obj>.<attr>(...)`` attrs that consume iteration order into RNG or
+#: scheduling decisions
+_ORDER_SINKS = frozenset({"choice", "shuffle", "permutation", "permuted"})
+
+
+@register
+class UnorderedIteration(Rule):
+    """DET003: hash-ordered iteration feeding order-sensitive consumers.
+
+    Set iteration order depends on ``PYTHONHASHSEED`` for str keys;
+    looping over one, materialising it with ``list()``, or feeding it to
+    ``rng.choice`` makes behaviour vary across processes.  Wrap in
+    ``sorted(...)`` to pin the order.
+    """
+
+    id = "DET003"
+    title = "iteration over unordered set / keys into RNG"
+    rationale = ("set iteration order is hash-dependent; sort before "
+                 "iterating, materialising, or feeding RNG draws")
+    interests = ("For", "comprehension", "Call")
+
+    def on_node(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if isinstance(node, ast.For):
+            if _is_set_expr(node.iter):
+                yield ctx.finding(
+                    self, node.iter,
+                    "for-loop over a set: iteration order is "
+                    "hash-dependent; use sorted(...)")
+        elif isinstance(node, ast.comprehension):
+            if _is_set_expr(node.iter):
+                yield ctx.finding(
+                    self, node.iter,
+                    "comprehension over a set: iteration order is "
+                    "hash-dependent; use sorted(...)")
+        elif isinstance(node, ast.Call):
+            # list(set(...)) / tuple({...}) / enumerate(set(...)):
+            # materialises an unordered container without sorting
+            if (isinstance(node.func, ast.Name)
+                    and node.func.id in ("list", "tuple", "enumerate")
+                    and node.args and _is_set_expr(node.args[0])):
+                yield ctx.finding(
+                    self, node,
+                    f"{node.func.id}() over a set keeps hash order; "
+                    f"use sorted(...)")
+            # rng.choice(set(...)) / rng.shuffle(d.keys()) etc.: order
+            # feeds the draw directly
+            elif (isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _ORDER_SINKS
+                    and node.args
+                    and (_is_set_expr(node.args[0])
+                         or _is_keys_call(node.args[0]))):
+                yield ctx.finding(
+                    self, node,
+                    f".{node.func.attr}() fed by unordered iteration; "
+                    f"sort the candidates first")

@@ -1,0 +1,61 @@
+"""FLT001: exact float equality comparisons.
+
+Continuity fractions, rates and simulated-time arithmetic accumulate
+rounding error; ``x == 0.3`` silently becomes load-bearing on the exact
+operation order.  Comparisons against float literals (or between
+expressions where either side is one) should use a tolerance --
+``math.isclose`` / ``numpy.isclose`` -- unless exactness is the point
+(e.g. collapsing ``-0.0``), which deserves a ``# repro: noqa[FLT001]``
+with a justification.
+
+Test files are exempt: asserting bit-identical outputs *is* their job.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+from typing import Iterator
+
+from repro.check.engine import FileContext, Finding, Rule, register
+
+__all__ = ["FloatEquality"]
+
+
+def _is_float_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and type(node.value) is float:
+        return True
+    if (isinstance(node, ast.UnaryOp)
+            and isinstance(node.op, (ast.USub, ast.UAdd))):
+        return _is_float_literal(node.operand)
+    return False
+
+
+@register
+class FloatEquality(Rule):
+    """FLT001: ``==`` / ``!=`` against a float literal outside tests."""
+
+    id = "FLT001"
+    title = "exact float equality comparison"
+    rationale = ("float == accumulates rounding-order dependence; use a "
+                 "tolerance or justify exactness with a noqa")
+    interests = ("Compare",)
+
+    def applies_to(self, path: str) -> bool:
+        p = PurePath(path.replace("\\", "/"))
+        if any(part in ("tests", "test") for part in p.parts):
+            return False
+        return not p.name.startswith(("test_", "bench_"))
+
+    def on_node(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Compare)
+        left = node.left
+        for op, right in zip(node.ops, node.comparators):
+            if isinstance(op, (ast.Eq, ast.NotEq)) and (
+                    _is_float_literal(left) or _is_float_literal(right)):
+                sym = "==" if isinstance(op, ast.Eq) else "!="
+                yield ctx.finding(
+                    self, node,
+                    f"float literal compared with {sym}; use "
+                    f"math.isclose/tolerance or noqa with justification")
+            left = right

@@ -106,6 +106,32 @@ class SystemConfig:
             raise ValueError("need 0 < target_partners <= max_partners")
         if self.mcache_size < self.bootstrap_sample:
             raise ValueError("mcache_size must hold a bootstrap sample")
+        if self.gossip_period_s <= 0 or self.bm_exchange_period_s <= 0:
+            raise ValueError("gossip/buffer-map periods must be positive")
+        if self.gossip_fanout < 1:
+            raise ValueError("gossip_fanout must be >= 1")
+        if self.delivery_interval_s <= 0:
+            raise ValueError("delivery_interval_s must be positive")
+        if self.playout_delay_s < 0:
+            raise ValueError("playout_delay_s must be non-negative")
+        if self.join_patience_s <= 0:
+            raise ValueError("join_patience_s must be positive")
+        if self.max_join_retries < 0:
+            raise ValueError("max_join_retries must be non-negative")
+        if self.retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be non-negative")
+        if self.stall_window_s <= 0:
+            raise ValueError("stall_window_s must be positive")
+        if not (0.0 <= self.stall_exit_continuity <= 1.0):
+            raise ValueError("stall_exit_continuity must be a fraction")
+        if self.status_report_period_s <= 0:
+            raise ValueError("status_report_period_s must be positive")
+        if self.n_servers < 0:
+            raise ValueError("n_servers must be non-negative")
+        if self.server_upload_bps <= 0 or self.source_upload_bps <= 0:
+            raise ValueError("server/source upload rates must be positive")
+        if self.server_max_partners < 1:
+            raise ValueError("server_max_partners must be >= 1")
         if self.player_buffer_s <= 0:
             raise ValueError("player_buffer_s must be positive")
         if self.tp_seconds >= self.buffer_seconds:

@@ -13,7 +13,7 @@ exercised by the mCache ablation benchmark.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional
 
 import numpy as np

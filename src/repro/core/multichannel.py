@@ -15,9 +15,7 @@ the audience.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
-
-import numpy as np
+from typing import Dict, List, Optional
 
 from repro.core.config import SystemConfig
 from repro.core.system import CoolstreamingSystem

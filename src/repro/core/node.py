@@ -33,7 +33,7 @@ from repro.core.adaptation import (
 from repro.core.buffer import BufferMap, CacheBuffer, SyncBuffer
 from repro.core.membership import MCache, MCacheEntry, ReplacementPolicy
 from repro.core.partnership import Direction, PartnershipManager
-from repro.core.pull import PullRequest, PullRequester, PullScheduler
+from repro.core.pull import PullRequester, PullScheduler
 from repro.core.stream import PlaybackState, SubscriptionConn, UploadScheduler
 from repro.network.connectivity import ConnectivityClass, can_establish
 from repro.obs import context as _obs_context

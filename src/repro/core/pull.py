@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Tuple
 
 from repro.network.fairshare import waterfill
 from repro.core.stream import CATCHUP_DEMAND_FACTOR

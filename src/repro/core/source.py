@@ -9,7 +9,7 @@ capable, always-on) partners.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List
 
 from repro.core.buffer import BufferMap, SyncBuffer
 from repro.core.membership import MCacheEntry

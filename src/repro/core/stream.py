@@ -17,7 +17,7 @@ number of blocks" (Section V.D).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.network.fairshare import waterfill

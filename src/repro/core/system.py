@@ -7,13 +7,12 @@ latency-scheduled RPC fabric over which nodes talk.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.blocks import StreamGeometry
 from repro.core.config import SystemConfig
 from repro.core.node import NodeState, PeerNode
 from repro.core.source import (
-    BOOTSTRAP_ID,
     LOGSERVER_ID,
     SOURCE_ID,
     BootstrapNode,

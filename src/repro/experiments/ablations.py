@@ -17,9 +17,7 @@ move:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
-
-import numpy as np
+from typing import Dict, List, Sequence
 
 from repro.analysis import Cdf, SessionTable
 from repro.analysis.continuity import mean_continuity

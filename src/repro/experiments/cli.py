@@ -11,6 +11,7 @@ Usage::
     python -m repro fig5 --engine detailed    # override the engine
     python -m repro parity --scenario steady_audience   # cross-engine check
     python -m repro campaign run spec.json --jobs 4   # see repro.campaign
+    python -m repro check src/                # determinism lint (repro.check)
 
 Each command runs the corresponding experiment at the default benchmark
 scale and prints the rendered tables/series.
@@ -28,6 +29,11 @@ Observability (any subcommand)::
 manifest sidecar (``m.manifest.json``: seed, config hash, git rev, wall
 time, peak RSS); ``--trace-out`` writes Chrome ``trace_event`` JSON
 loadable in Perfetto; ``--progress`` prints a heartbeat line to stderr.
+
+``--rng-sanitize {strict,warn}`` turns on the seed-discipline sanitizer
+(:mod:`repro.sim.rng`): named streams count their draws and undeclared
+streams / out-of-owner draws surface as obs counters (strict mode
+raises).  Equivalent to setting ``REPRO_RNG_SANITIZE``.
 
 Exit codes: 0 success, 1 experiment error (one-line message on stderr),
 2 usage error (unknown experiment name).
@@ -106,7 +112,7 @@ ABLATIONS: Dict[str, Callable] = {
 
 def _run_one(name: str, fn: Callable, seed: int, *, jobs: int = 1,
              engine: Optional[str] = None, quiet: bool = False) -> None:
-    t0 = time.perf_counter()
+    t0 = time.perf_counter()  # repro: noqa[DET002] CLI elapsed-time display only
     # registry entries take (seed, jobs[, engine]); tolerate externally
     # registered seed-only callables
     try:
@@ -119,7 +125,7 @@ def _run_one(name: str, fn: Callable, seed: int, *, jobs: int = 1,
     if "engine" in params and engine is not None:
         kwargs["engine"] = engine
     result = fn(seed, **kwargs) if params else fn(seed)
-    elapsed = time.perf_counter() - t0
+    elapsed = time.perf_counter() - t0  # repro: noqa[DET002] CLI elapsed-time display only
     if not quiet:
         print(result.render())
         print(f"[{name}: {elapsed:.1f} s]")
@@ -153,6 +159,11 @@ def main(argv=None) -> int:
         from repro.runtime.parity import main as parity_main
 
         return parity_main(argv[1:])
+    if argv and argv[0] == "check":
+        # the determinism lint has its own flags (paths, --format, ...)
+        from repro.check.cli import main as check_main
+
+        return check_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -180,9 +191,20 @@ def main(argv=None) -> int:
                              "(open in chrome://tracing or Perfetto)")
     parser.add_argument("--progress", action="store_true",
                         help="print a periodic heartbeat line to stderr")
+    parser.add_argument("--rng-sanitize", choices=("strict", "warn"),
+                        default=None, metavar="MODE",
+                        help="enable the RNG seed-discipline sanitizer "
+                             "(strict raises on violations, warn records "
+                             "them; equivalent to REPRO_RNG_SANITIZE)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress rendered tables/series on stdout")
     args = parser.parse_args(argv)
+
+    if args.rng_sanitize:
+        # via the environment so forked campaign/sweep workers inherit it
+        import os
+
+        os.environ["REPRO_RNG_SANITIZE"] = args.rng_sanitize
 
     name = args.experiment
     if name == "list":
@@ -192,6 +214,7 @@ def main(argv=None) -> int:
         print("all")
         print("campaign")
         print("parity")
+        print("check")
         return 0
 
     if name not in EXPERIMENTS and name not in ("all", "ablations"):

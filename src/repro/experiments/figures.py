@@ -30,7 +30,7 @@ from repro.analysis import (
     snapshot_overlay,
 )
 from repro.analysis.classification import UserType, type_distribution
-from repro.analysis.continuity import continuity_timeseries, mean_continuity
+from repro.analysis.continuity import mean_continuity
 from repro.analysis.contribution import (
     contribution_by_type,
     contributor_class_share,

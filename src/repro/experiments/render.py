@@ -8,7 +8,7 @@ EXPERIMENTS.md embeds it verbatim.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 import numpy as np
 

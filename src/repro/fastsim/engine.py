@@ -30,7 +30,7 @@ One step of length ``dt``:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
@@ -447,7 +447,7 @@ class FastSimulation:
     def step(self) -> None:
         """Advance the simulation by one time step."""
         _obs = self._obs
-        _t0 = perf_counter() if _obs is not None else 0.0
+        _t0 = perf_counter() if _obs is not None else 0.0  # repro: noqa[DET002] obs step-timer instrumentation only
         dt = self.fast.dt
         cfg = self.cfg
         k = self.k
@@ -719,7 +719,7 @@ class FastSimulation:
         self.now = now + dt
         self.steps_run += 1
         if _obs is not None:
-            dur = perf_counter() - _t0
+            dur = perf_counter() - _t0  # repro: noqa[DET002] obs step-timer instrumentation only
             reg = _obs.registry
             reg.counter("fastsim.steps").inc()
             reg.counter("fastsim.peers_stepped").inc(int(active.sum()))

@@ -78,7 +78,7 @@ class ConvergenceModel:
         s, u, q = self.p_lose_stable, self.p_lose_unstable, self.p_stable_pick
         num = u * q
         den = u * q + s * (1.0 - q)
-        if den == 0.0:
+        if den == 0.0:  # repro: noqa[FLT001] exact zero guards division, not a tolerance check
             # no movement at all: the initial distribution persists; report
             # the selection probability as the only meaningful limit
             return q

@@ -55,7 +55,7 @@ def _normalise(obj: Any) -> Any:
             return "float:nan"
         if math.isinf(obj):
             return "float:inf" if obj > 0 else "float:-inf"
-        if obj == 0.0:  # collapse -0.0
+        if obj == 0.0:  # repro: noqa[FLT001] exact comparison collapses -0.0 on purpose (collapse -0.0)
             return 0.0
         return float(obj)
     if isinstance(obj, str):

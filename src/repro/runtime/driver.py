@@ -82,14 +82,22 @@ def sample_workload(scenario, seed: int = 0) -> WorkloadRealization:
     consume it, and identical for both.
     """
     hub = RngHub(int(seed))
-    times = np.asarray(
-        scenario.arrivals.sample(scenario.horizon_s, hub.stream(ARRIVALS_STREAM)),
-        dtype=float,
-    )
-    durations = np.asarray(
-        scenario.duration_model.sample(hub.stream(DURATIONS_STREAM), len(times)),
-        dtype=float,
-    )
+    # declare the canonical streams so the opt-in seed-discipline
+    # sanitizer can police this hub: any other stream created on it, or a
+    # draw outside the workload scope, is a discipline violation
+    hub.declare(ARRIVALS_STREAM, owner="workload")
+    hub.declare(DURATIONS_STREAM, owner="workload")
+    with hub.owned_by("workload"):
+        times = np.asarray(
+            scenario.arrivals.sample(scenario.horizon_s,
+                                     hub.stream(ARRIVALS_STREAM)),
+            dtype=float,
+        )
+        durations = np.asarray(
+            scenario.duration_model.sample(hub.stream(DURATIONS_STREAM),
+                                           len(times)),
+            dtype=float,
+        )
     return WorkloadRealization(
         times=times,
         durations=durations,

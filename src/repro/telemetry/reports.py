@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import ClassVar, Dict, List, Optional, Type
+from typing import ClassVar, Dict, Optional, Type
 
 __all__ = [
     "ActivityEvent",

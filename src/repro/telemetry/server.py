@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import io
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, TextIO
+from typing import Iterator, List, TextIO
 
 from repro.telemetry.logstring import decode_log_string, encode_log_string
 from repro.telemetry.reports import Report, parse_report

@@ -11,7 +11,7 @@ of shape.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Protocol, Sequence, Tuple
+from typing import Protocol, Sequence, Tuple
 
 import numpy as np
 

@@ -12,8 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-import numpy as np
-
 from repro.core.config import SystemConfig
 from repro.core.system import CoolstreamingSystem
 from repro.network.capacity import CapacityModel

@@ -14,7 +14,7 @@ leave report -- the log-visibility artefact Section V.D leans on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np

@@ -1,0 +1,14 @@
+"""Fixture: CFG001-clean -- every numeric field validated."""
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DemoConfig:
+    rate: float = 1.0
+    window_s: float = 5.0
+
+    def __post_init__(self):
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")
+        if self.window_s <= 0:
+            raise ValueError("window_s must be positive")

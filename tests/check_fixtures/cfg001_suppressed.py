@@ -1,0 +1,12 @@
+"""Fixture: CFG001 occurrence silenced with a per-line suppression."""
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DemoConfig:
+    rate: float = 1.0
+    window_s: float = 5.0  # repro: noqa[CFG001] fixture: any float is valid
+
+    def __post_init__(self):
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")

@@ -1,0 +1,12 @@
+"""Fixture: CFG001 positive -- one validated field, one ignored."""
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DemoConfig:
+    rate: float = 1.0
+    window_s: float = 5.0
+
+    def __post_init__(self):
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")

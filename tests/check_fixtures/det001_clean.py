@@ -1,0 +1,12 @@
+"""Fixture: DET001-clean -- explicitly seeded machinery only."""
+import random
+
+import numpy as np
+
+
+def draw(seed):
+    gen = np.random.default_rng(seed)
+    ss = np.random.SeedSequence([seed, 7])
+    other = np.random.Generator(np.random.PCG64(ss))
+    local = random.Random(seed)
+    return gen.random(), other.random(), local.random()

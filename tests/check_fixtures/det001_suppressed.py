@@ -1,0 +1,10 @@
+"""Fixture: DET001 occurrences silenced with per-line suppressions."""
+import random
+
+import numpy as np
+
+
+def draw():
+    a = random.random()  # repro: noqa[DET001] fixture: demo suppression
+    b = np.random.normal()  # repro: noqa[DET001] fixture: demo suppression
+    return a, b

@@ -1,0 +1,16 @@
+"""Fixture: DET001 positives -- global RNG draws (every call flagged)."""
+import random
+
+import numpy as np
+import numpy.random as npr
+from random import choice
+
+
+def draw():
+    a = random.random()
+    b = random.randint(1, 6)
+    c = choice([1, 2, 3])
+    random.seed(0)
+    d = np.random.normal(size=4)
+    e = npr.rand(3)
+    return a, b, c, d, e

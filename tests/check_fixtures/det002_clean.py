@@ -1,0 +1,5 @@
+"""Fixture: DET002-clean -- simulated time only."""
+
+
+def advance(now_s, dt_s):
+    return now_s + dt_s

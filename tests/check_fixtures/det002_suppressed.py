@@ -1,0 +1,6 @@
+"""Fixture: DET002 occurrences silenced with per-line suppressions."""
+import time
+
+
+def stamp():
+    return time.time()  # repro: noqa[DET002] fixture: instrumentation only

@@ -1,0 +1,12 @@
+"""Fixture: DET002 positives -- wall-clock reads in simulation code."""
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def stamp():
+    a = time.time()
+    b = time.monotonic()
+    c = perf_counter()
+    d = datetime.now()
+    return a, b, c, d

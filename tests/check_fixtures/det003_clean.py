@@ -1,0 +1,8 @@
+"""Fixture: DET003-clean -- orders pinned before use."""
+
+
+def ordered(xs, rng):
+    ids = sorted(set(xs))
+    for x in sorted({3, 1, 2}):
+        print(x)
+    return rng.choice(ids)

@@ -1,0 +1,5 @@
+"""Fixture: DET003 occurrence silenced with a per-line suppression."""
+
+
+def unordered(xs):
+    return list(set(xs))  # repro: noqa[DET003] fixture: order irrelevant here

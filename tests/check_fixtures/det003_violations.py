@@ -1,0 +1,11 @@
+"""Fixture: DET003 positives -- hash-ordered iteration."""
+
+
+def unordered(xs, rng):
+    for x in {1, 2, 3}:
+        print(x)
+    ids = list(set(xs))
+    pairs = [y for y in set(xs)]
+    pick = rng.choice(set(xs))
+    also = rng.shuffle(frozenset(xs))
+    return ids, pairs, pick, also

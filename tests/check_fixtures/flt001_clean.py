@@ -1,0 +1,9 @@
+"""Fixture: FLT001-clean -- tolerances and integer comparisons."""
+import math
+
+
+def compare(x, y):
+    a = math.isclose(x, 1.0)
+    b = x == 1          # int literal: fine
+    c = abs(y - 0.5) < 1e-9
+    return a, b, c

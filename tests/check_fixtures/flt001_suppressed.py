@@ -1,0 +1,5 @@
+"""Fixture: FLT001 occurrence silenced with a per-line suppression."""
+
+
+def compare(x):
+    return x == 0.0  # repro: noqa[FLT001] fixture: exact zero intentional

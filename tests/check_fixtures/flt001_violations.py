@@ -1,0 +1,8 @@
+"""Fixture: FLT001 positives -- exact float equality."""
+
+
+def compare(x, y):
+    a = x == 1.0
+    b = y != 0.5
+    c = -2.5 == x
+    return a, b, c

@@ -1,6 +1,5 @@
 """Tests for partner-churn and resource/bottleneck analysis."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.classification import UserType

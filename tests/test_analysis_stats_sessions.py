@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.analysis.sessions import Session, SessionTable
+from repro.analysis.sessions import SessionTable
 from repro.analysis.stats import Cdf, bin_timeseries, tail_fraction
 from repro.telemetry.reports import ActivityEvent, ActivityReport, LeaveReason
 from repro.telemetry.server import LogServer

@@ -42,11 +42,11 @@ class TestSpecExpansion:
     def test_campaign_key_stable_across_instances(self):
         d = {"name": "c", "entries": [
             {"experiment": "fig3", "seeds": [0, 1],
-             "overrides": {"b": 2, "a": 1}},
+             "overrides": {"horizon_s": 300.0, "rate_per_s": 0.2}},
         ]}
         d_reordered = {"entries": [
-            {"overrides": {"a": 1, "b": 2}, "seeds": [0, 1],
-             "experiment": "fig3"},
+            {"overrides": {"rate_per_s": 0.2, "horizon_s": 300.0},
+             "seeds": [0, 1], "experiment": "fig3"},
         ], "name": "c"}
         k1 = CampaignSpec.from_dict(d, code_version=None).campaign_key
         k2 = CampaignSpec.from_dict(d_reordered, code_version=None).campaign_key
@@ -79,6 +79,60 @@ class TestSpecExpansion:
     def test_malformed_specs_raise(self, bad):
         with pytest.raises(SpecError):
             CampaignSpec.from_dict(bad, code_version=None)
+
+    def test_unknown_override_key_rejected(self):
+        # regression: a typo'd key used to be folded into every run key
+        # and fail (or silently no-op) only at execution time
+        with pytest.raises(SpecError, match="horizont_s"):
+            CampaignSpec.from_dict({
+                "name": "c",
+                "entries": [{"experiment": "fig3",
+                             "overrides": {"horizont_s": 60.0}}],
+            }, code_version=None)
+
+    def test_unknown_grid_key_rejected(self):
+        with pytest.raises(SpecError, match="n_userz"):
+            CampaignSpec.from_dict({
+                "name": "c",
+                "entries": [{"experiment": "fig9_size",
+                             "grid": {"n_userz": [10, 20]}}],
+            }, code_version=None)
+
+    def test_seed_cannot_be_an_override(self):
+        with pytest.raises(SpecError, match="'seed'"):
+            CampaignSpec.from_dict({
+                "name": "c",
+                "entries": [{"experiment": "fig3",
+                             "overrides": {"seed": 7}}],
+            }, code_version=None)
+
+    def test_engine_entry_rejected_for_engineless_experiment(self):
+        # fig4 takes no engine parameter; pinning one would TypeError in
+        # every worker after hashing -- reject at spec time instead
+        with pytest.raises(SpecError, match="engine"):
+            CampaignSpec.from_dict({
+                "name": "c",
+                "entries": [{"experiment": "fig4", "engine": "fast"}],
+            }, code_version=None)
+
+    def test_unresolvable_experiment_defers_validation_to_run_time(self):
+        # module:qualname refs may only import inside workers; the spec
+        # layer must not reject them for unknown keys it cannot check
+        spec = CampaignSpec.from_dict({
+            "name": "c",
+            "entries": [{"experiment": "no.such.module:fn",
+                         "overrides": {"whatever": 1}}],
+        }, code_version=None)
+        assert len(spec.runs) == 1
+
+    def test_valid_override_keys_accepted(self):
+        spec = CampaignSpec.from_dict({
+            "name": "c",
+            "entries": [{"experiment": "fig3",
+                         "overrides": {"rate_per_s": 0.3},
+                         "grid": {"horizon_s": [60.0, 120.0]}}],
+        }, code_version=None)
+        assert len(spec.runs) == 2
 
     def test_duplicate_runs_rejected(self):
         with pytest.raises(SpecError, match="duplicate"):

@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.experiments.cli import ABLATIONS, EXPERIMENTS, main
 from repro.experiments.ablations import run_variant

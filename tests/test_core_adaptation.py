@@ -1,6 +1,5 @@
 """Unit tests for the adaptation rules (Inequalities 1-2, cool-down)."""
 
-import numpy as np
 import pytest
 
 from repro.core.adaptation import (

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.node import NodeState, SessionOutcome
 from repro.core.system import CoolstreamingSystem
-from repro.network.connectivity import ConnectivityClass
 from repro.telemetry.reports import (
     ActivityEvent,
     ActivityReport,

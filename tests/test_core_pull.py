@@ -1,6 +1,5 @@
 """Tests for pull-mode scheduling (the DONet baseline)."""
 
-import numpy as np
 import pytest
 
 from repro.core.config import SystemConfig

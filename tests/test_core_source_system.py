@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.node import NodeState
-from repro.core.source import BOOTSTRAP_ID, SOURCE_ID, BootstrapNode
+from repro.core.source import SOURCE_ID
 from repro.core.system import CoolstreamingSystem
 from repro.network.connectivity import ConnectivityClass
 

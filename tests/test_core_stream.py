@@ -1,9 +1,8 @@
 """Unit tests for the push data plane and playback accounting."""
 
-import numpy as np
 import pytest
 
-from repro.core.stream import PlaybackState, SubscriptionConn, UploadScheduler
+from repro.core.stream import PlaybackState, UploadScheduler
 
 
 def collect_pushes():

@@ -1,7 +1,5 @@
 """Tests for the rendering helpers and (small-scale) figure functions."""
 
-import numpy as np
-import pytest
 
 from repro.experiments import table1, validate_dynamics_equations
 from repro.experiments.render import (

@@ -4,7 +4,6 @@ Scenarios: dedicated-server death mid-stream, mass abrupt peer failure,
 a saturated partner set, malformed log traffic, and pathological configs.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.config import SystemConfig

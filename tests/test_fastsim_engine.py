@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.config import SystemConfig
 from repro.fastsim import FastSimConfig, FastSimulation
-from repro.fastsim.engine import _BUFFERING, _EMPTY, _JOINING, _PLAYING
+from repro.fastsim.engine import _BUFFERING, _EMPTY, _PLAYING
 from repro.telemetry.reports import (
     ActivityEvent,
     ActivityReport,

@@ -11,7 +11,7 @@ import pytest
 
 from repro.core.config import SystemConfig
 from repro.fastsim import FastSimulation
-from repro.fastsim.engine import _BUFFERING, _EMPTY, _JOINING, _PLAYING
+from repro.fastsim.engine import _BUFFERING, _EMPTY, _PLAYING
 
 
 @pytest.fixture(params=[0, 1, 2])

@@ -5,7 +5,6 @@ import json
 import pytest
 
 from repro.analysis.funnel import JoinFunnel, funnel_by_attempt, join_funnel
-from repro.analysis.sessions import SessionTable
 from repro.experiments.render import FigureResult
 from repro.telemetry.reports import ActivityEvent, ActivityReport, LeaveReason
 from repro.telemetry.server import LogServer

@@ -1,10 +1,8 @@
 """Gap-filling tests: smaller behaviours not covered elsewhere."""
 
-import numpy as np
 import pytest
 
 from repro.core.config import SystemConfig
-from repro.core.system import CoolstreamingSystem
 from repro.experiments.ablations import run_variant
 from repro.network.latency import LatencyModel
 from repro.workload.arrivals import DiurnalProfile

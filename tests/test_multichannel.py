@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.analysis import SessionTable
-from repro.core.config import SystemConfig
 from repro.core.multichannel import MultiChannelDeployment
 from repro.workload.surfing import ChannelAudience, zipf_popularity
 

@@ -13,9 +13,7 @@ import pytest
 import repro.obs as obs
 from repro.obs import context as obs_context
 from repro.obs.metrics import (
-    DEFAULT_TIME_BUCKETS_S,
     NULL_REGISTRY,
-    Counter,
     Histogram,
     MetricsRegistry,
     prometheus_name,

@@ -7,7 +7,6 @@ import pytest
 from repro.experiments.render import FigureResult
 from repro.experiments.replication import (
     MetricSummary,
-    ReplicationResult,
     replicate,
 )
 

@@ -13,7 +13,6 @@ from repro.runtime.parity import (
     ABSOLUTE_FLOOR,
     DEFAULT_TOLERANCES,
     MetricComparison,
-    ParityReport,
     main as parity_main,
     paper_metrics,
     run_parity,

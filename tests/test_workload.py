@@ -17,7 +17,7 @@ from repro.workload.scenarios import (
     steady_audience,
 )
 from repro.workload.sessions import ProgramSchedule, SessionDurationModel
-from repro.workload.users import UserAgent, UserPopulation
+from repro.workload.users import UserAgent
 
 
 class TestPoisson:
