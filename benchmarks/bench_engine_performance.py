@@ -68,16 +68,19 @@ def _seed_loop_run(self, until=None, max_events=None):
     fired = 0
     try:
         while self._heap:
-            ev = self._heap[0]
+            entry = self._heap[0]
+            ev = entry[2]
             if ev.cancelled:
                 heapq.heappop(self._heap)
                 continue
-            if until is not None and ev.time > until:
+            if until is not None and entry[0] > until:
                 break
             if max_events is not None and fired >= max_events:
                 break
             heapq.heappop(self._heap)
-            self._now = ev.time
+            self._live -= 1
+            ev._engine = None
+            self.now = entry[0]
             ev.fn()
             fired += 1
             self.events_processed += 1
@@ -85,8 +88,8 @@ def _seed_loop_run(self, until=None, max_events=None):
                 break
     finally:
         self._running = False
-    if until is not None and not self._stopped and self._now < until:
-        self._now = until
+    if until is not None and not self._stopped and self.now < until:
+        self.now = until
 
 
 def test_event_kernel_throughput(benchmark):

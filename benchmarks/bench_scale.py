@@ -1,0 +1,241 @@
+"""Scaling benchmark: events/s, wall time and peak RSS vs population size.
+
+Paper context: the measured broadcast peaks at ~40,000 concurrent users
+(Fig. 5), so engine throughput at four-digit-to-five-digit populations is
+what decides whether paper-scale studies are reproducible here.  This
+benchmark drives the ``uniform_ramp`` scenario (exactly ``N`` arrivals,
+everyone stays -- the Fig. 9 sweep workload) at N in {250, 1k, 4k, 10k}
+through **both** engines and records:
+
+* ``events_per_s`` / ``wall_s`` / ``peak_rss_mb`` for the detailed engine,
+* ``peer_steps_per_s`` / ``wall_s`` / ``peak_rss_mb`` for the fluid engine,
+* one extra row for the *shared runtime scenario* of ``bench_runtime.py``
+  (288-user steady audience), so the detailed-engine figure is directly
+  comparable with the committed ``BENCH_runtime.json`` baseline.
+
+Every point runs in a fresh subprocess so ``ru_maxrss`` is the true peak
+RSS of that point alone (not the max over earlier, larger runs) and so
+allocator state cannot leak between points.
+
+Usage::
+
+    python benchmarks/bench_scale.py               # full sweep -> BENCH_scale.json
+    python benchmarks/bench_scale.py --smoke       # N=250 only + perf tripwire
+    python benchmarks/bench_scale.py --points 250 1000   # custom subset
+
+``--smoke`` is the CI mode: it measures the smallest point only, does NOT
+rewrite ``BENCH_scale.json``, and fails (exit 1) when detailed-engine
+events/s regressed more than ``--tripwire-frac`` (default 0.30) below the
+committed baseline -- a coarse gate that survives noisy CI machines while
+still catching order-of-magnitude regressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import resource
+import subprocess
+import sys
+from pathlib import Path
+from time import perf_counter  # repro: noqa[DET002] benchmark stopwatch
+
+BENCH_DIR = Path(__file__).resolve().parent
+BENCH_JSON = BENCH_DIR / "BENCH_scale.json"
+REPO_SRC = BENCH_DIR.parent / "src"
+
+SEED = 0
+SCALE_POINTS = (250, 1_000, 4_000, 10_000)
+#: scale_scenario geometry: N arrivals over the first half of the horizon,
+#: then a steady fully-joined tail; servers provisioned with the audience.
+HORIZON_S = 300.0
+RAMP_FRAC = 0.5
+
+
+def scale_scenario(n_users: int):
+    """The N-user scaling workload (import deferred: child processes only
+    pay for repro once)."""
+    from repro.workload.scenarios import uniform_ramp
+
+    return uniform_ramp(
+        n_users=n_users,
+        horizon_s=HORIZON_S,
+        ramp_frac=RAMP_FRAC,
+        n_servers=max(3, n_users // 500),
+    )
+
+
+def runtime_scenario():
+    """The shared scenario of ``bench_runtime.py`` (288 users at seed 0)."""
+    from repro.workload.scenarios import steady_audience
+
+    return steady_audience(rate_per_s=0.5, horizon_s=600.0, n_servers=3)
+
+
+def _peak_rss_mb() -> float:
+    """This process's peak RSS in MiB (``ru_maxrss`` is KiB on Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def measure_point(engine: str, n_users: int) -> dict:
+    """Run one (engine, N) point in-process and return its row."""
+    from repro.runtime import run_scenario
+
+    shared = n_users == 0  # sentinel: the bench_runtime shared scenario
+    scenario = runtime_scenario() if shared else scale_scenario(n_users)
+    t0 = perf_counter()  # repro: noqa[DET002] benchmark stopwatch
+    res = run_scenario(scenario, seed=SEED, engine=engine)
+    wall = perf_counter() - t0  # repro: noqa[DET002] benchmark stopwatch
+    row: dict = {
+        "engine": engine,
+        "n_users": res.workload.n_users,
+        "horizon_s": scenario.horizon_s,
+        "n_servers": scenario.cfg.n_servers,
+        "wall_s": round(wall, 3),
+        "peak_rss_mb": round(_peak_rss_mb(), 1),
+    }
+    if shared:
+        row["scenario"] = "steady_audience(rate=0.5/s, 600s)"
+    if engine == "detailed":
+        events = res.system.engine.events_processed
+        row["events"] = events
+        row["events_per_s"] = round(events / wall, 1)
+    else:
+        dt = res.sim.fast.dt
+        n_steps = int(scenario.horizon_s / dt)
+        peak = float(res.metrics()["concurrent_users"])
+        # audience integral: ramp to peak over RAMP_FRAC, then flat (the
+        # steady shared scenario keeps bench_runtime's peak/2 convention)
+        mean_alive = max(1.0, peak / 2.0 if shared
+                         else peak * (1.0 - RAMP_FRAC / 2.0))
+        row["steps"] = n_steps
+        row["peer_steps_per_s"] = round(n_steps * mean_alive / wall, 1)
+    return row
+
+
+def _run_child(engine: str, n_users: int) -> dict:
+    """Measure one point in a fresh interpreter; returns its JSON row."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, str(Path(__file__).resolve()),
+         "--child", f"{engine}:{n_users}"],
+        env=env, capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"bench point {engine} N={n_users} failed:\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def _load_baseline(path: Path) -> dict:
+    if not path.exists():
+        return {}
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return {}
+
+
+def _baseline_smoke_rate(baseline: dict) -> float:
+    """Committed detailed events/s at the smallest scale point (0 if absent)."""
+    for row in baseline.get("scale_points", ()):
+        if row.get("engine") == "detailed" and row.get("n_users") == SCALE_POINTS[0]:
+            return float(row.get("events_per_s", 0.0))
+    return 0.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Scaling benchmark: both engines at N in "
+                    f"{list(SCALE_POINTS)} users (see BENCH_scale.json).",
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help=f"measure only N={SCALE_POINTS[0]} and run the "
+                             "perf tripwire against the committed baseline "
+                             "(does not rewrite BENCH_scale.json)")
+    parser.add_argument("--points", type=int, nargs="+", default=None,
+                        metavar="N", help="explicit population sizes to run")
+    parser.add_argument("--baseline", type=Path, default=BENCH_JSON,
+                        help="baseline JSON for the tripwire "
+                             "(default: committed BENCH_scale.json)")
+    parser.add_argument("--tripwire-frac", type=float, default=0.30,
+                        help="max tolerated fractional events/s regression "
+                             "in --smoke mode (default 0.30)")
+    parser.add_argument("--out", type=Path, default=BENCH_JSON,
+                        help="output path for the full-sweep JSON")
+    parser.add_argument("--child", metavar="ENGINE:N", default=None,
+                        help=argparse.SUPPRESS)  # internal: one point
+    args = parser.parse_args(argv)
+
+    if args.child:
+        engine, _, n = args.child.partition(":")
+        sys.path.insert(0, str(REPO_SRC))
+        print(json.dumps(measure_point(engine, int(n))))
+        return 0
+
+    points = tuple(args.points) if args.points else (
+        SCALE_POINTS[:1] if args.smoke else SCALE_POINTS
+    )
+    rows = []
+    for n in points:
+        for engine in ("detailed", "fast"):
+            row = _run_child(engine, n)
+            rows.append(row)
+            rate = row.get("events_per_s", row.get("peer_steps_per_s"))
+            unit = "events/s" if engine == "detailed" else "peer-steps/s"
+            print(f"[bench_scale] {engine:>8} N={n:>6}: "
+                  f"{row['wall_s']:>8.2f}s  {rate:>12,.0f} {unit}  "
+                  f"rss {row['peak_rss_mb']:.0f} MiB")
+
+    if args.smoke:
+        baseline_rate = _baseline_smoke_rate(_load_baseline(args.baseline))
+        current = next(r["events_per_s"] for r in rows
+                       if r["engine"] == "detailed")
+        if baseline_rate <= 0:
+            print("[bench_scale] no committed baseline; tripwire skipped")
+            return 0
+        floor = baseline_rate * (1.0 - args.tripwire_frac)
+        verdict = "OK" if current >= floor else "REGRESSION"
+        print(f"[bench_scale] tripwire: {current:,.0f} events/s vs baseline "
+              f"{baseline_rate:,.0f} (floor {floor:,.0f}) -> {verdict}")
+        return 0 if current >= floor else 1
+
+    # full sweep: add the shared bench_runtime scenario row + the headline
+    # improvement factor over the committed BENCH_runtime.json baseline
+    shared = _run_child("detailed", 0)
+    print(f"[bench_scale] detailed shared-runtime scenario "
+          f"({shared['n_users']} users): {shared['wall_s']:.2f}s "
+          f"{shared['events_per_s']:,.0f} events/s")
+    runtime_baseline = _load_baseline(BENCH_DIR / "BENCH_runtime.json")
+    base_rate = float(
+        runtime_baseline.get("results", {}).get("detailed_events_per_s", 0.0)
+    )
+    payload = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpus": os.cpu_count(),
+        "seed": SEED,
+        "scale_points": rows,
+        "runtime_scenario": {
+            **{k: shared[k] for k in
+               ("scenario", "n_users", "wall_s", "events", "events_per_s",
+                "peak_rss_mb")},
+            "baseline_events_per_s": base_rate,
+            "improvement_factor": (
+                round(shared["events_per_s"] / base_rate, 2) if base_rate else None
+            ),
+        },
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[bench_scale] wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,7 @@ the receiving partner.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Iterable, Optional, Sequence
 
 from repro.core.blocks import StreamGeometry
@@ -40,6 +41,10 @@ class SyncBuffer:
             raise ValueError("start must be non-negative")
         self._start = start
         self._count = 0
+        # local index of the newest contiguous block; ``start - 1`` if
+        # empty.  A maintained attribute (not a property): the push data
+        # plane reads it on every delivered interval.
+        self.head = start - 1
         self._pending: set[int] = set()
 
     @property
@@ -51,11 +56,6 @@ class SyncBuffer:
     def count(self) -> int:
         """Blocks in the contiguous prefix."""
         return self._count
-
-    @property
-    def head(self) -> int:
-        """Local index of the newest contiguous block; ``start - 1`` if empty."""
-        return self._start + self._count - 1
 
     @property
     def pending(self) -> frozenset[int]:
@@ -80,6 +80,7 @@ class SyncBuffer:
                 self._pending.remove(self._start + self._count)
                 self._count += 1
                 advanced += 1
+            self.head += advanced
         else:
             self._pending.add(local_index)
         return advanced
@@ -100,6 +101,7 @@ class SyncBuffer:
                 return 0
             advanced = last - next_needed + 1
             self._count += advanced
+            self.head += advanced
             return advanced
         advanced = 0
         for idx in range(max(first, next_needed), last + 1):
@@ -161,9 +163,12 @@ class BufferMap:
         """Number of sub-streams."""
         return len(self.heads)
 
-    @property
+    @cached_property
     def max_head(self) -> int:
-        """Most advanced sub-stream head (the ``m`` of Section IV.A)."""
+        """Most advanced sub-stream head (the ``m`` of Section IV.A).
+
+        Cached: the map is frozen, and partner-adaptation reads this once
+        per partner per control tick."""
         return max(self.heads)
 
     @property
@@ -191,19 +196,52 @@ class BufferMap:
         return cls(heads=heads, subscriptions=subs)
 
     @classmethod
+    def trusted(cls, heads: tuple, subscriptions: tuple) -> "BufferMap":
+        """Construct without ``__post_init__`` re-validation.
+
+        For internal builders that guarantee the invariants by construction
+        (equal-length non-empty tuples, heads >= -1).  The validated
+        ``BufferMap(...)`` path remains the constructor for anything parsed
+        from the wire or built by user code.
+        """
+        bm = cls.__new__(cls)
+        object.__setattr__(bm, "heads", heads)
+        object.__setattr__(bm, "subscriptions", subscriptions)
+        return bm
+
+    @classmethod
     def from_local_heads(
         cls,
         local_heads: Iterable[int],
         geometry: StreamGeometry,
         subscriptions: Optional[Sequence[bool]] = None,
     ) -> "BufferMap":
-        """Build from per-sub-stream local indices (-1 = nothing yet)."""
+        """Build from per-sub-stream local indices (-1 = nothing yet).
+
+        This is the per-control-tick hot constructor, so the framing
+        conversion is inlined (``global = local * K + sub``) and the result
+        is built through :meth:`trusted` -- every invariant
+        ``__post_init__`` would re-check holds by construction here, except
+        the two cheap ones still validated below.
+        """
+        k = geometry.n_substreams
         heads = []
-        for sub, h in enumerate(local_heads):
-            heads.append(-1 if h < 0 else geometry.global_seq(sub, h))
+        append = heads.append
+        sub = 0
+        for h in local_heads:
+            append(-1 if h < 0 else h * k + sub)
+            sub += 1
+        if sub == 0:
+            raise ValueError("buffer map needs at least one sub-stream")
+        if sub > k:
+            raise ValueError(f"substream {k} out of range [0, {k})")
         if subscriptions is None:
-            subscriptions = (False,) * len(heads)
-        return cls(heads=tuple(heads), subscriptions=tuple(bool(s) for s in subscriptions))
+            subs = (False,) * sub
+        else:
+            subs = tuple(bool(s) for s in subscriptions)
+            if len(subs) != sub:
+                raise ValueError("heads and subscriptions must have length K each")
+        return cls.trusted(tuple(heads), subs)
 
 
 def combined_prefix_end(counts: Sequence[int], k: int) -> int:

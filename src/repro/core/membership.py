@@ -13,7 +13,7 @@ exercised by the mCache ablation benchmark.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
 import numpy as np
@@ -45,7 +45,14 @@ class MCacheEntry:
 
     def refreshed(self, now: float) -> "MCacheEntry":
         """A copy with ``last_seen`` updated."""
-        return replace(self, last_seen=now)
+        # direct construction: dataclasses.replace re-runs field discovery
+        # and this is called for every stored gossip entry
+        return MCacheEntry(
+            node_id=self.node_id,
+            connectivity=self.connectivity,
+            joined_at=self.joined_at,
+            last_seen=now,
+        )
 
 
 class MCache:

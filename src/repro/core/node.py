@@ -25,10 +25,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 from repro.core.adaptation import (
     CooldownTimer,
     choose_parent,
-    inequality1_ok,
-    inequality2_ok,
     qualified_parents,
-    substream_lag,
 )
 from repro.core.buffer import BufferMap, CacheBuffer, SyncBuffer
 from repro.core.membership import MCache, MCacheEntry, ReplacementPolicy
@@ -103,7 +100,11 @@ class PeerNode:
         self.upload_bps = float(upload_bps)
 
         cfg = self.cfg
-        self.state = NodeState.INIT
+        self._state = NodeState.INIT
+        # `alive` is a plain attribute kept in sync by the `state` setter
+        # rather than a property: it is read on every RPC dispatch and
+        # every push, and the descriptor call dominated those paths
+        self.alive = True
         self.outcome = SessionOutcome.ACTIVE
         self.joined_at: float = float("nan")
         self.start_subscription_at: Optional[float] = None
@@ -159,6 +160,12 @@ class PeerNode:
         self._gossip_every = max(
             1, round(cfg.gossip_period_s / cfg.bm_exchange_period_s)
         )
+        # hot-path caches: these are invariants of the session, hoisted out
+        # of per-tick/per-push code (cfg.block_bits is a derived property)
+        self._block_bits = float(cfg.block_bits)
+        self._cache_window = self.cache.window
+        self._stale_timeout = 3.0 * cfg.bm_exchange_period_s + 1.0
+        self._node_lookup = system._nodes.get
 
         self.reporter = system.make_reporter(self)
 
@@ -177,16 +184,23 @@ class PeerNode:
             last_seen=self.engine.now,
         )
 
-    @property
-    def alive(self) -> bool:
-        """Whether the session is still running."""
-        return self.state is not NodeState.LEFT
-
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"<PeerNode {self.node_id} {self.connectivity.name}"
             f" {self.state.value}>"
         )
+
+    @property
+    def state(self) -> NodeState:
+        """Session state.  Assigning ``NodeState.LEFT`` (as failure-injection
+        harnesses do to simulate a crash) also clears ``alive``; hot paths
+        read the backing ``_state``/``alive`` attributes directly."""
+        return self._state
+
+    @state.setter
+    def state(self, value: NodeState) -> None:
+        self._state = value
+        self.alive = value is not NodeState.LEFT
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -233,7 +247,7 @@ class PeerNode:
         if self.state is NodeState.LEFT:
             return
         self.left_at = self.engine.now
-        self.state = NodeState.LEFT
+        self.state = NodeState.LEFT  # setter clears `alive`
         self.outcome = {
             LeaveReason.NORMAL: SessionOutcome.NORMAL,
             LeaveReason.PROGRAM_END: SessionOutcome.PROGRAM_END,
@@ -296,11 +310,12 @@ class PeerNode:
     def _maintain_partnerships(self) -> None:
         cfg = self.cfg
         now = self.engine.now
-        # expire stale pending requests
-        self._pending_partners = {
-            t: ts for t, ts in self._pending_partners.items()
-            if now - ts < 10.0
-        }
+        # expire stale pending requests (skip the rebuild when there are none)
+        if self._pending_partners:
+            self._pending_partners = {
+                t: ts for t, ts in self._pending_partners.items()
+                if now - ts < 10.0
+            }
         want = cfg.target_partners - len(self.partners) - len(self._pending_partners)
         if want <= 0:
             return
@@ -411,7 +426,7 @@ class PeerNode:
     # buffer maps
     # ------------------------------------------------------------------
     def _own_bm(self) -> BufferMap:
-        subscriptions = [p is not None for p in self.parents]
+        subscriptions = tuple(p is not None for p in self.parents)
         return BufferMap.from_local_heads(self.heads, self.geometry, subscriptions)
 
     def rpc_bm_update(self, from_id: int, bm: BufferMap) -> None:
@@ -423,12 +438,19 @@ class PeerNode:
     def _broadcast_bm(self) -> None:
         bm = self._own_bm()
         now = self.engine.now
+        own_id = self.node_id
+        lookup = self._node_lookup
         sent = 0
-        for pid in self.partners.ids():
-            peer = self.system.get_node(pid)
+        # iterate the partner map directly (we never mutate our own map
+        # here, only the peers') with record_bm inlined: synchronous apply,
+        # BM latency << exchange period, and the alive check just happened
+        for pid in self.partners._partners:
+            peer = lookup(pid)
             if peer is not None and peer.alive:
-                # synchronous apply: BM latency << exchange period
-                peer.rpc_bm_update(self.node_id, bm)
+                state = peer.partners._partners.get(own_id)
+                if state is not None:
+                    state.bm = bm
+                    state.last_bm_time = now
                 sent += 1
         if sent:
             _obs_inc("core.bm_exchanges", sent)
@@ -559,27 +581,33 @@ class PeerNode:
             return
         cfg = self.cfg
         best_head = self.partners.best_partner_head()
-        best_local = -1 if best_head < 0 else self.geometry.local_index(best_head)
+        k = self.geometry.n_substreams
+        best_local = -1 if best_head < 0 else best_head // k
+        heads = self.heads
+        max_head = max(heads)
+        ts = cfg.ts_seconds
+        tp = cfg.tp_seconds
+        get_state = self.partners.get
         worst_sub = -1
         worst_lag = -1.0
+        # inlined inequality1_ok/inequality2_ok/substream_lag with
+        # max(heads) hoisted: this runs every control tick on every
+        # buffering/playing node
         for sub, parent in enumerate(self.parents):
             if parent is None:
                 continue
-            violated = False
-            if not inequality1_ok(self.heads, sub, cfg.ts_seconds):
-                violated = True
-            state = self.partners.get(parent)
-            parent_head = (
-                -1 if state is None or state.bm is None
-                else state.bm.head_local(sub, self.geometry)
-            )
-            if not inequality2_ok(parent_head, best_local, cfg.tp_seconds):
-                violated = True
-            if violated:
-                lag = substream_lag(self.heads, sub)
-                if lag > worst_lag:
-                    worst_lag = lag
-                    worst_sub = sub
+            lag = max_head - heads[sub]
+            violated = lag >= ts
+            if not violated and best_local >= 0:
+                state = get_state(parent)
+                bm = None if state is None else state.bm
+                if bm is not None:
+                    g = bm.heads[sub]
+                    if g >= 0 and best_local - g // k >= tp:
+                        violated = True
+            if violated and lag > worst_lag:
+                worst_lag = lag
+                worst_sub = sub
         if worst_sub >= 0:
             self._reselect_parent(worst_sub)
 
@@ -637,29 +665,30 @@ class PeerNode:
         if not self.alive or self.sync is None:
             return
         buf = self.sync[substream]
-        if first > buf.head + 1:
+        head = buf.head
+        if first > head + 1:
             # blocks before `first` were evicted from the parent's cache
             # before we could fetch them: a permanent hole
             if self.playback is not None:
-                self.playback.add_hole(substream, buf.head + 1, first - 1)
-            skipped = first - (buf.head + 1)
-            for idx in range(buf.head + 1, first):
-                buf.receive(idx)  # mark as "past" so the head can advance
+                self.playback.add_hole(substream, head + 1, first - 1)
+            buf.receive_range(head + 1, first - 1)  # mark as "past" so the head can advance
         buf.receive_range(first, last)
-        self.heads[substream] = buf.head
+        head = buf.head
+        self.heads[substream] = head
         if self.pull_req is not None:
-            self.pull_req.note_head(substream, buf.head)
+            self.pull_req.note_head(substream, head)
         n = last - first + 1
-        self.bits_downloaded += n * self.cfg.block_bits
+        self.bits_downloaded += n * self._block_bits
         if self.start_subscription_at is None:
             self.start_subscription_at = self.engine.now
             self.reporter.activity(
                 ActivityEvent.START_SUBSCRIPTION, attempt=self.attempt
             )
-        self._maybe_player_ready()
+        if self._state is NodeState.BUFFERING:
+            self._maybe_player_ready()
 
     def _maybe_player_ready(self) -> None:
-        if self.state is not NodeState.BUFFERING or self.playback is None:
+        if self._state is not NodeState.BUFFERING or self.playback is None:
             return
         combined = min(self.heads) + 1
         if combined - self.start_index >= self.cfg.player_buffer_s:
@@ -669,7 +698,7 @@ class PeerNode:
             self.reporter.activity(ActivityEvent.PLAYER_READY, attempt=self.attempt)
 
     def _push(self, conn: SubscriptionConn, first: int, last: int) -> None:
-        child = self.system.get_node(conn.child_id)
+        child = self._node_lookup(conn.child_id)
         if child is None or not child.alive:
             self.scheduler.drop_child(conn.child_id)
             return
@@ -678,7 +707,7 @@ class PeerNode:
     def _pull_push(self, child_id: int, substream: int, first: int,
                    last: int) -> None:
         """Deliver a served pull request to the requesting child."""
-        child = self.system.get_node(child_id)
+        child = self._node_lookup(child_id)
         if child is None or not child.alive:
             if self.pull_sched is not None:
                 self.pull_sched.drop_child(child_id)
@@ -691,9 +720,9 @@ class PeerNode:
         self._last_delivery = now
         if dt <= 0:
             return
-        if self.scheduler.substream_degree:
+        if self.scheduler._conns:  # inlined substream_degree: per-tick path
             self.scheduler.deliver(
-                dt, self.heads, self.cache.oldest_available, self._push
+                dt, self.heads, self._cache_window, self._push
             )
             ctx = _obs_context.current()
             if ctx is not None:
@@ -704,7 +733,7 @@ class PeerNode:
                     reg.counter(f"core.upload_saturated_quanta.{kind}").inc()
         if self.pull_sched is not None and self.pull_sched.busy_children:
             self.pull_sched.deliver(
-                dt, self.heads, self.cache.oldest_available, self._pull_push
+                dt, self.heads, self._cache_window, self._pull_push
             )
         if self.playback is not None and self.playback.playing:
             self.playback.advance(dt, self.heads)
@@ -718,10 +747,22 @@ class PeerNode:
         self._control_ticks += 1
         cfg = self.cfg
         now = self.engine.now
-        # churn detection: partners that went silent
-        timeout = 3.0 * cfg.bm_exchange_period_s + 1.0
-        for pid in self.partners.stale_partners(now, timeout):
-            self._drop_partner(pid, notify=False)
+        # churn detection: partners that went silent (inlined stale scan --
+        # the common case finds nothing and must not allocate)
+        stale = None
+        timeout = self._stale_timeout
+        for state in self.partners._partners.values():
+            if now - state.established_at < timeout:
+                continue
+            t = state.last_bm_time
+            if t < 0 or now - t > timeout:
+                if stale is None:
+                    stale = [state.node_id]
+                else:
+                    stale.append(state.node_id)
+        if stale is not None:
+            for pid in stale:
+                self._drop_partner(pid, notify=False)
         self._maintain_partnerships()
         self._broadcast_bm()
         if self._control_ticks % self._gossip_every == 0:
@@ -729,15 +770,16 @@ class PeerNode:
         if self.pull_mode:
             self._pull_round()
         else:
-            if self.state is NodeState.JOINING or (
-                self.sync is not None and any(p is None for p in self.parents)
+            if self._state is NodeState.JOINING or (
+                # `None in list` short-circuits in C (identity first)
+                self.sync is not None and None in self.parents
             ):
                 self._join_progress()
-            if self.state in (NodeState.BUFFERING, NodeState.PLAYING):
+            if self._state in (NodeState.BUFFERING, NodeState.PLAYING):
                 self._adaptation_check()
         # user patience: sessions that never start playing are abandoned
         if (
-            self.state in (NodeState.JOINING, NodeState.BUFFERING)
+            self._state in (NodeState.JOINING, NodeState.BUFFERING)
             and now - self.joined_at > cfg.join_patience_s
         ):
             self.leave(LeaveReason.IMPATIENCE)
@@ -745,7 +787,7 @@ class PeerNode:
         # stall watchdog: an unwatchable stream makes the client depart and
         # re-enter (Section V.D) -- its recent bad continuity is lost to the
         # 5-minute report cadence, which is the Fig. 8 measurement artefact
-        if self.state is NodeState.PLAYING and self.playback is not None:
+        if self._state is NodeState.PLAYING and self.playback is not None:
             if self._last_stall_check == float("-inf"):
                 self._last_stall_check = now
             elif now - self._last_stall_check >= cfg.stall_window_s:

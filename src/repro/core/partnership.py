@@ -136,7 +136,9 @@ class PartnershipManager:
         state = self._partners.get(node_id)
         if state is None:
             return False
-        state.update_bm(bm, now)
+        # inlined update_bm: this runs once per partner per BM exchange
+        state.bm = bm
+        state.last_bm_time = now
         return True
 
     def best_partner_head(self) -> int:
@@ -145,8 +147,11 @@ class PartnershipManager:
         sub-streams.  -1 if no BM has been heard yet."""
         best = -1
         for state in self._partners.values():
-            if state.bm is not None:
-                best = max(best, state.bm.max_head)
+            bm = state.bm
+            if bm is not None:
+                h = bm.max_head
+                if h > best:
+                    best = h
         return best
 
     def partners_with_bm(self) -> List[PartnerState]:
@@ -160,6 +165,8 @@ class PartnershipManager:
         for state in self._partners.values():
             if now - state.established_at < timeout_s:
                 continue
-            if state.bm_age(now) > timeout_s:
+            # inlined bm_age: never-heard (last_bm_time < 0) is infinitely old
+            t = state.last_bm_time
+            if t < 0 or now - t > timeout_s:
                 out.append(state.node_id)
         return out

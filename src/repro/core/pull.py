@@ -29,13 +29,13 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Tuple
 
-from repro.network.fairshare import waterfill
+from repro.network.fairshare import waterfill_rates
 from repro.core.stream import CATCHUP_DEMAND_FACTOR
 
 __all__ = ["PullScheduler", "PullRequester", "PullRequest"]
 
 
-@dataclass
+@dataclass(slots=True)
 class PullRequest:
     """One requested block interval of one sub-stream."""
 
@@ -74,6 +74,9 @@ class PullScheduler:
         self._block_bits = float(block_bits)
         self._queues: Dict[int, Deque[PullRequest]] = {}
         self._credit: Dict[int, float] = {}
+        # cached per-child queued-block totals, kept in sync with _queues so
+        # outstanding() is O(1) and busy_children O(children), not O(queue)
+        self._queued_blocks: Dict[int, int] = {}
         self.bits_uploaded = 0.0
         self.requests_received = 0
 
@@ -85,59 +88,75 @@ class PullScheduler:
         queue = self._queues.setdefault(child_id, deque())
         queue.extend(requests)
         self._credit.setdefault(child_id, 0.0)
+        self._queued_blocks[child_id] = (
+            self._queued_blocks.get(child_id, 0)
+            + sum(r.last - r.first + 1 for r in requests)
+        )
         self.requests_received += len(requests)
 
     def drop_child(self, child_id: int) -> None:
         """Forget a departed child's outstanding requests."""
         self._queues.pop(child_id, None)
         self._credit.pop(child_id, None)
+        self._queued_blocks.pop(child_id, None)
 
     def outstanding(self, child_id: int) -> int:
-        """Blocks currently queued for ``child_id``."""
-        return sum(r.size for r in self._queues.get(child_id, ()))
+        """Blocks currently queued for ``child_id``.  O(1)."""
+        return self._queued_blocks.get(child_id, 0)
 
     @property
     def busy_children(self) -> int:
-        """Children with a non-empty queue."""
-        return sum(1 for q in self._queues.values() if q)
+        """Children with a non-empty queue.  O(children), not O(blocks):
+        a queued request always covers >= 1 block, so a child's queue is
+        non-empty exactly when its cached block count is positive."""
+        return sum(1 for n in self._queued_blocks.values() if n)
 
     # --- the delivery quantum ---------------------------------------------
     def deliver(
         self,
         dt: float,
         parent_heads: List[int],
-        oldest_available: Callable[[int], int],
+        window: int,
         push: Callable[[int, int, int, int], None],
     ) -> float:
         """Serve queues for ``dt`` seconds.
 
-        ``push(child_id, substream, first, last)`` delivers blocks.
-        Intervals (or their prefixes) the parent cannot serve -- beyond
-        its head or already evicted -- are discarded; the child's timeout
-        machinery re-requests elsewhere, as in DONet.
-        Returns bits uploaded.
+        ``window`` is the parent's cache window in blocks (oldest servable
+        index is ``max(0, head - window + 1)``); ``push(child_id,
+        substream, first, last)`` delivers blocks.  Intervals (or their
+        prefixes) the parent cannot serve -- beyond its head or already
+        evicted -- are discarded; the child's timeout machinery re-requests
+        elsewhere, as in DONet.  Returns bits uploaded.
         """
         busy = [c for c, q in self._queues.items() if q]
         if not busy:
             return 0.0
+        window = int(window)
+        queued = self._queued_blocks
         demands = [self._sub_rate * CATCHUP_DEMAND_FACTOR] * len(busy)
         if sum(demands) <= self.upload_bps:
             rates = demands
         else:
-            rates = waterfill(self.upload_bps, demands)
+            rates = waterfill_rates(self.upload_bps, demands)
         bits = 0.0
         for child, rate in zip(busy, rates):
             budget = self._credit.get(child, 0.0) + rate * dt / self._block_bits
             queue = self._queues[child]
+            served_or_dropped = 0
             while queue and budget >= 1.0:
                 req = queue[0]
                 head = parent_heads[req.substream]
-                floor = oldest_available(head) if head >= 0 else 0
-                # clamp to what we can actually serve
-                first = max(req.first, floor)
-                last = min(req.last, head)
-                if head < 0 or last < first:
+                if head < 0:
                     queue.popleft()  # nothing servable; child will retry
+                    served_or_dropped += req.last - req.first + 1
+                    continue
+                floor = head - window + 1
+                # clamp to what we can actually serve
+                first = req.first if req.first >= floor else floor
+                last = req.last if req.last <= head else head
+                if last < first:
+                    queue.popleft()  # nothing servable; child will retry
+                    served_or_dropped += req.last - req.first + 1
                     continue
                 n = min(int(budget), last - first + 1)
                 push(child, req.substream, first, first + n - 1)
@@ -145,8 +164,14 @@ class PullScheduler:
                 budget -= n
                 if first + n - 1 >= req.last:
                     queue.popleft()
+                    served_or_dropped += req.last - req.first + 1
                 else:
+                    served_or_dropped += first + n - req.first
                     req.first = first + n
+            # push() can re-enter drop_child (the child departed); a child
+            # dropped mid-loop keeps outstanding == 0 rather than resurrecting
+            if served_or_dropped and child in queued:
+                queued[child] -= served_or_dropped
             self._credit[child] = min(budget, 2.0)
         self.bits_uploaded += bits
         return bits

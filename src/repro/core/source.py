@@ -105,9 +105,7 @@ class SourceNode:
         heads = self.heads
         if self.scheduler.substream_degree:
             self.scheduler.deliver(
-                dt, heads,
-                lambda head: max(0, head - int(self.cfg.buffer_seconds) + 1),
-                self._push,
+                dt, heads, int(self.cfg.buffer_seconds), self._push,
             )
         # keep the servers' view of our buffer fresh
         bm = self._own_bm()
@@ -167,8 +165,7 @@ class DedicatedServer(PeerNode):
         if not self.alive:
             return
         self._control_ticks += 1
-        timeout = 3.0 * self.cfg.bm_exchange_period_s + 1.0
-        for pid in self.partners.stale_partners(self.engine.now, timeout):
+        for pid in self.partners.stale_partners(self.engine.now, self._stale_timeout):
             self._drop_partner(pid, notify=False)
         self._broadcast_bm()
         if self._control_ticks % self._gossip_every == 0:

@@ -12,6 +12,7 @@ Usage::
     python -m repro parity --scenario steady_audience   # cross-engine check
     python -m repro campaign run spec.json --jobs 4   # see repro.campaign
     python -m repro check src/                # determinism lint (repro.check)
+    python -m repro profile fig3              # cProfile hot spots + Chrome trace
 
 Each command runs the corresponding experiment at the default benchmark
 scale and prints the rendered tables/series.
@@ -164,6 +165,11 @@ def main(argv=None) -> int:
         from repro.check.cli import main as check_main
 
         return check_main(argv[1:])
+    if argv and argv[0] == "profile":
+        # cProfile hot-spot runner (own flags: --top/--sort/--trace-out)
+        from repro.experiments.profile import main as profile_main
+
+        return profile_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -215,6 +221,7 @@ def main(argv=None) -> int:
         print("campaign")
         print("parity")
         print("check")
+        print("profile")
         return 0
 
     if name not in EXPERIMENTS and name not in ("all", "ablations"):

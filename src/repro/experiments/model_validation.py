@@ -69,7 +69,7 @@ def _simulate_transfer(
     while t < max_t:
         t += dt
         parent_head += sub_rate * dt
-        sched.deliver(dt, [int(parent_head)], lambda h: h - 10_000, push)
+        sched.deliver(dt, [int(parent_head)], 10_001, push)
         if heads[0] >= int(parent_head):
             caught_at = t
             break
@@ -124,7 +124,7 @@ def validate_dynamics_equations(*, seed: int = 0) -> FigureResult:
         horizon = 200
         for step in range(horizon):
             head += 1
-            sched.deliver(1.0, [head], lambda h: h - 10_000, push)
+            sched.deliver(1.0, [head], 10_001, push)
         r_meas = np.mean([delivered[c] / horizon for c in delivered])
         rows.append((str(d_p), f"{r_pred:.3f}", f"{r_meas:.3f}"))
     result.add_block("Eq. 5 (degraded rate r_down = D_p/(D_p+1) * R/K)")

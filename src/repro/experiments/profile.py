@@ -1,0 +1,131 @@
+"""``python -m repro profile`` -- run an experiment under cProfile.
+
+Perf work on this codebase starts from data, not guesses: this subcommand
+runs any registered experiment under :mod:`cProfile`, prints a per-callsite
+hot-spot table (sorted by internal time by default), and writes a Chrome
+``trace_event`` file through the :mod:`repro.obs` trace exporter so the
+same run can be opened in ``chrome://tracing`` / Perfetto.
+
+Usage::
+
+    python -m repro profile fig3
+    python -m repro profile fig6 --seed 3 --top 40 --sort cumtime
+    python -m repro profile fig5 --trace-out fig5.trace.json --stats-out p.pstats
+
+The hot-spot table reports, per call site (``file:line(function)``):
+call count, total internal time, per-call internal time, cumulative time
+and the share of overall internal time.  ``--stats-out`` additionally
+dumps the raw :mod:`pstats` data for ``snakeviz``-style tooling.
+
+Note that cProfile instruments every Python call, which inflates
+call-heavy code paths relative to real time; treat the table as a ranking,
+not a stopwatch.  The Chrome trace is recorded by the engine's observed
+loop and reflects real (uninstrumented-loop + profiler) wall time per
+event callback.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+from typing import List, Optional
+
+import repro.obs as obs
+
+__all__ = ["main", "hotspot_table"]
+
+_SORTS = ("tottime", "cumtime", "ncalls")
+
+
+def hotspot_table(stats: pstats.Stats, *, top: int = 25,
+                  sort: str = "tottime") -> str:
+    """Format profile data as a per-callsite hot-spot table."""
+    if sort not in _SORTS:
+        raise ValueError(f"sort must be one of {_SORTS} (got {sort!r})")
+    rows = []
+    total_tt = 0.0
+    for (filename, line, func), (cc, nc, tt, ct, _callers) in stats.stats.items():
+        total_tt += tt
+        short = filename
+        for marker in ("/site-packages/", "/src/"):
+            pos = filename.rfind(marker)
+            if pos >= 0:
+                short = filename[pos + len(marker):]
+                break
+        rows.append((nc, tt, ct, f"{short}:{line}({func})"))
+    key = {"tottime": lambda r: r[1], "cumtime": lambda r: r[2],
+           "ncalls": lambda r: r[0]}[sort]
+    rows.sort(key=key, reverse=True)
+    lines = [
+        f"{'ncalls':>10}  {'tottime':>9}  {'percall':>9}  {'cumtime':>9}"
+        f"  {'tot%':>5}  callsite",
+    ]
+    for nc, tt, ct, site in rows[:top]:
+        percall = tt / nc if nc else 0.0
+        share = 100.0 * tt / total_tt if total_tt else 0.0
+        lines.append(
+            f"{nc:>10d}  {tt:>9.3f}  {percall:>9.6f}  {ct:>9.3f}"
+            f"  {share:>4.1f}%  {site}"
+        )
+    lines.append(f"-- {len(rows)} call sites, "
+                 f"{total_tt:.3f} s total internal time --")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro profile``."""
+    # late import: repro.experiments.cli imports this module's caller chain
+    from repro.experiments.cli import EXPERIMENTS, _run_one
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro profile",
+        description="Run an experiment under cProfile: print a hot-spot "
+                    "table and write a Chrome trace (repro.obs exporter).",
+    )
+    parser.add_argument("experiment", choices=sorted(EXPERIMENTS),
+                        help="experiment to profile")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="root random seed (default 0)")
+    parser.add_argument("--top", type=int, default=25,
+                        help="rows in the hot-spot table (default 25)")
+    parser.add_argument("--sort", choices=_SORTS, default="tottime",
+                        help="hot-spot table sort key (default tottime)")
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="Chrome trace output path (default "
+                             "profile_<experiment>.trace.json)")
+    parser.add_argument("--stats-out", metavar="PATH", default=None,
+                        help="also dump raw pstats data to PATH")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the experiment's own rendered output")
+    args = parser.parse_args(argv)
+
+    trace_path = args.trace_out or f"profile_{args.experiment}.trace.json"
+    fn = EXPERIMENTS[args.experiment]
+    profiler = cProfile.Profile()
+    try:
+        with obs.session(trace_path=trace_path, scenario=args.experiment,
+                         seed=args.seed):
+            profiler.enable()
+            try:
+                _run_one(args.experiment, fn, args.seed, quiet=True)
+            finally:
+                profiler.disable()
+    except KeyboardInterrupt:
+        print("error: interrupted", file=sys.stderr)
+        return 130
+    except Exception as exc:
+        print(f"error: {args.experiment}: {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        return 1
+
+    stats = pstats.Stats(profiler)
+    if args.stats_out:
+        stats.dump_stats(args.stats_out)
+    if not args.quiet:
+        print(f"== hot spots: {args.experiment} (seed {args.seed}, "
+              f"sorted by {args.sort}) ==")
+    print(hotspot_table(stats, top=args.top, sort=args.sort))
+    print(f"[chrome trace written to {trace_path}]")
+    return 0

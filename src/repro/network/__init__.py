@@ -22,7 +22,7 @@ from repro.network.connectivity import (
 )
 from repro.network.capacity import CapacityModel, CapacityProfile
 from repro.network.latency import LatencyModel
-from repro.network.fairshare import FairShareAllocator, waterfill
+from repro.network.fairshare import FairShareAllocator, waterfill, waterfill_rates
 
 __all__ = [
     "ConnectivityClass",
@@ -34,4 +34,5 @@ __all__ = [
     "LatencyModel",
     "FairShareAllocator",
     "waterfill",
+    "waterfill_rates",
 ]

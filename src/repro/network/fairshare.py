@@ -16,11 +16,130 @@ demands exceed the fair share.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Sequence
 
 import numpy as np
 
-__all__ = ["waterfill", "FairShareAllocator"]
+__all__ = ["waterfill", "waterfill_rates", "FairShareAllocator"]
+
+# Below this size the pure-Python fill beats the numpy call overhead (the
+# common case is a handful of child connections per parent).
+_SMALL_N = 16
+
+
+# argsort permutations keyed by the input's comparison pattern (dense
+# ranks): numpy's introsort is comparison-based, so two arrays with the
+# same rank pattern sort through the identical permutation.  Tied demand
+# vectors are the *common* hot-path case (all caught-up children demand
+# the same rate), so the permutation is computed once per pattern and the
+# fill itself stays pure Python.
+_perm_cache: dict = {}
+
+
+def _waterfill_py(capacity: float, demands: Sequence[float]) -> List[float]:
+    """Pure-Python progressive filling for small demand vectors.
+
+    Capped allocations within a group of *tied* demands are mathematically
+    equal but can differ in the last ulp (the ``remaining / active``
+    recurrence drifts), and which index receives which variant is decided
+    by the sort's tie order.  The numpy path's ``argsort`` order is the
+    reference behaviour, and ``argsort``'s permutation depends only on the
+    comparison pattern of its input -- so for tie patterns whose ulp
+    assignment is order-dependent the fill is replayed over the cached
+    argsort permutation for that pattern.  Either way the result is
+    bit-identical to :func:`_waterfill_np`.
+    """
+    n = len(demands)
+    order = sorted(range(n), key=demands.__getitem__)
+    alloc = [0.0] * n
+    remaining = capacity
+    active = n
+    prev_d = -1.0
+    prev_give = -1.0
+    for idx in order:
+        fair = remaining / active
+        d = demands[idx]
+        give = d if d < fair else fair
+        if d == prev_d and give != prev_give:
+            break  # tie-order-dependent: replay over argsort's permutation
+        alloc[idx] = give
+        remaining -= give
+        active -= 1
+        prev_d = d
+        prev_give = give
+    else:
+        return alloc
+    # dense ranks in original index order = the comparison pattern
+    ranks = [0] * n
+    r = 0
+    prev = demands[order[0]]
+    for idx in order:
+        d = demands[idx]
+        if d != prev:
+            r += 1
+            prev = d
+        ranks[idx] = r
+    key = tuple(ranks)
+    perm = _perm_cache.get(key)
+    if perm is None:
+        if len(_perm_cache) > 4096:  # adversarial-pattern backstop
+            _perm_cache.clear()
+        perm = np.argsort(np.asarray(ranks, dtype=float)).tolist()
+        _perm_cache[key] = perm
+    alloc = [0.0] * n
+    remaining = capacity
+    active = n
+    for idx in perm:
+        fair = remaining / active
+        d = demands[idx]
+        give = d if d < fair else fair
+        alloc[idx] = give
+        remaining -= give
+        active -= 1
+    return alloc
+
+
+def _waterfill_np(capacity: float, d: np.ndarray) -> np.ndarray:
+    """The numpy progressive-filling recurrence (pre-validated input)."""
+    n = d.size
+    alloc = np.empty(n, dtype=float)
+    order = np.argsort(d)
+    dl = d.tolist()  # python-float loop: same bits, no numpy scalar boxing
+    remaining = float(capacity)
+    active = n
+    for idx in order.tolist():
+        fair = remaining / active
+        give = min(dl[idx], fair)
+        alloc[idx] = give
+        remaining -= give
+        active -= 1
+    return alloc
+
+
+def waterfill_rates(capacity: float, demands: Sequence[float]) -> List[float]:
+    """Max-min fair allocation returning a plain list of floats.
+
+    The hot-path variant of :func:`waterfill` used by the upload
+    schedulers: for small flat demand vectors it runs a pure-Python fill
+    (no numpy round-trip), falling back to the numpy path for large
+    vectors and for tie patterns whose ulp assignment is sort-order
+    dependent (see :func:`_waterfill_py`).  Allocation values are
+    bit-identical to :func:`waterfill` in every case.
+    """
+    if capacity < 0:
+        raise ValueError(f"capacity must be non-negative (got {capacity})")
+    n = len(demands)
+    if n == 0:
+        return []
+    if n <= _SMALL_N:
+        for d in demands:
+            if d < 0:
+                raise ValueError("demands must be non-negative")
+        return _waterfill_py(capacity, demands)
+    d = np.asarray(demands, dtype=float)
+    if (d < 0).any():
+        raise ValueError("demands must be non-negative")
+    return _waterfill_np(capacity, d).tolist()
 
 
 def waterfill(capacity: float, demands: Sequence[float]) -> np.ndarray:
@@ -43,7 +162,9 @@ def waterfill(capacity: float, demands: Sequence[float]) -> np.ndarray:
     Notes
     -----
     Runs in O(n log n) by sorting demands once, following the standard
-    progressive-filling recurrence rather than a loop of passes.
+    progressive-filling recurrence rather than a loop of passes.  Use
+    :func:`waterfill_rates` on hot paths: same values, list output, and a
+    pure-Python fast path for small vectors.
     """
     d = np.asarray(demands, dtype=float)
     if d.ndim != 1:
@@ -52,20 +173,9 @@ def waterfill(capacity: float, demands: Sequence[float]) -> np.ndarray:
         raise ValueError(f"capacity must be non-negative (got {capacity})")
     if (d < 0).any():
         raise ValueError("demands must be non-negative")
-    n = d.size
-    if n == 0:
+    if d.size == 0:
         return np.zeros(0)
-    alloc = np.empty(n, dtype=float)
-    order = np.argsort(d)
-    remaining = float(capacity)
-    active = n
-    for k, idx in enumerate(order):
-        fair = remaining / active
-        give = min(d[idx], fair)
-        alloc[idx] = give
-        remaining -= give
-        active -= 1
-    return alloc
+    return _waterfill_np(capacity, d)
 
 
 class FairShareAllocator:
@@ -123,6 +233,6 @@ class FairShareAllocator:
             return
         keys = list(self._demands.keys())
         demands = [self._demands[k] for k in keys]
-        alloc = waterfill(self._capacity, demands)
-        self._alloc = dict(zip(keys, alloc.tolist()))
+        alloc = waterfill_rates(self._capacity, demands)
+        self._alloc = dict(zip(keys, alloc))
         self._dirty = False

@@ -2,13 +2,26 @@
 
 The kernel is deliberately small and callback-based rather than
 coroutine-based: profiling mesh-pull workloads showed that the dominant cost
-at scale is per-event overhead, and a plain ``heapq`` of ``(time, seq, fn)``
-tuples is several times cheaper than generator-based processes.  Protocol
-code schedules closures; periodic behaviour uses :class:`PeriodicTask`.
+at scale is per-event overhead, and a plain ``heapq`` of ``(time, seq,
+event)`` tuples is several times cheaper than generator-based processes.
+Protocol code schedules closures; periodic behaviour uses
+:class:`PeriodicTask`.
+
+Three design points keep the constant factors down at paper scale:
+
+* heap entries are plain tuples, so every sift comparison resolves on the
+  ``(time, seq)`` prefix in C without calling back into Python;
+* ``__len__`` is O(1): a live-event counter is maintained on schedule,
+  cancel and pop instead of scanning the heap;
+* cancellation is lazy (a flag checked on pop), but when cancelled entries
+  outnumber live ones the heap is compacted in one O(n) pass -- partner
+  reselection churn would otherwise grow the heap without bound.
 
 Determinism: events scheduled for the same timestamp fire in scheduling
 order (a monotonically increasing sequence number breaks ties), so a run is
-bit-for-bit reproducible given the same seed and scenario.
+bit-for-bit reproducible given the same seed and scenario.  Compaction
+cannot reorder anything: ``(time, seq)`` is a total order, so the pop
+sequence of the rebuilt heap is identical to the lazy one.
 """
 
 from __future__ import annotations
@@ -16,11 +29,15 @@ from __future__ import annotations
 import heapq
 import itertools
 from time import perf_counter
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.obs import context as _obs_context
 
 __all__ = ["Engine", "Event", "PeriodicTask", "SimulationError"]
+
+#: Compaction threshold: never compact heaps smaller than this (the O(n)
+#: rebuild is not worth it below a few hundred entries).
+_COMPACT_MIN_HEAP = 512
 
 
 class SimulationError(RuntimeError):
@@ -30,22 +47,26 @@ class SimulationError(RuntimeError):
 class Event:
     """A scheduled callback.
 
-    Events compare by ``(time, seq)`` which is what the heap orders on;
-    ``__lt__`` is hand-written because it is the hottest comparison in the
-    simulator (every heap sift calls it).  Cancelling an event merely
-    flags it; the heap entry is skipped lazily when popped (cheaper than
-    heap surgery for the cancellation rates seen in partner-reselection
-    workloads).
+    Events still compare by ``(time, seq)`` for backwards compatibility,
+    but the heap itself stores ``(time, seq, event)`` tuples so sift
+    comparisons never reach Python.  Cancelling an event merely flags it;
+    the heap entry is skipped lazily when popped (cheaper than heap surgery
+    for the cancellation rates seen in partner-reselection workloads),
+    though the engine compacts in bulk when cancellations pile up.
     """
 
-    __slots__ = ("time", "seq", "fn", "cancelled")
+    __slots__ = ("time", "seq", "fn", "cancelled", "_engine")
 
     def __init__(self, time: float, seq: int, fn: Callable[[], None],
-                 cancelled: bool = False) -> None:
+                 cancelled: bool = False, engine: Optional["Engine"] = None) -> None:
         self.time = time
         self.seq = seq
         self.fn = fn
         self.cancelled = cancelled
+        # back-reference used to maintain the engine's O(1) live-event
+        # counter; detached (set to None) once the entry leaves the heap so
+        # late cancels cannot corrupt the count
+        self._engine = engine
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -58,7 +79,14 @@ class Event:
 
     def cancel(self) -> None:
         """Prevent the callback from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        eng = self._engine
+        if eng is not None:
+            self._engine = None
+            eng._live -= 1
+            eng._maybe_compact()
 
 
 class Engine:
@@ -80,13 +108,19 @@ class Engine:
     """
 
     def __init__(self, start_time: float = 0.0) -> None:
-        self._now = float(start_time)
-        self._heap: list[Event] = []
+        #: Current simulated time in seconds.  A plain attribute (the hot
+        #: loops write it per event and protocol code reads it constantly);
+        #: treat as read-only outside the kernel.
+        self.now = float(start_time)
+        self._heap: List[Tuple[float, int, Event]] = []
         self._seq = itertools.count()
+        self._live = 0  # non-cancelled entries currently in the heap
         self._running = False
         self._stopped = False
+        self._buckets: dict = {}  # (period, next_time) -> _TimerBucket
         self.events_processed = 0
         self.events_cancelled = 0
+        self.heap_compactions = 0
         # observability: engines created inside an active repro.obs session
         # attach automatically; otherwise the kernel keeps its original,
         # instrumentation-free loop (the disabled fast path)
@@ -95,21 +129,17 @@ class Engine:
     # ------------------------------------------------------------------
     # clock & introspection
     # ------------------------------------------------------------------
-    @property
-    def now(self) -> float:
-        """Current simulated time in seconds."""
-        return self._now
-
     def __len__(self) -> int:
-        """Number of pending (non-cancelled) events."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of pending (non-cancelled) events.  O(1)."""
+        return self._live
 
     def peek(self) -> Optional[float]:
         """Timestamp of the next live event, or ``None`` if the heap is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
             self.events_cancelled += 1
-        return self._heap[0].time if self._heap else None
+        return heap[0][0] if heap else None
 
     # ------------------------------------------------------------------
     # scheduling
@@ -121,21 +151,62 @@ class Engine:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self._now + delay, fn)
+        seq = next(self._seq)
+        time = float(self.now + delay)
+        ev = Event(time, seq, fn, False, self)
+        heapq.heappush(self._heap, (time, seq, ev))
+        self._live += 1
+        return ev
 
     def schedule_at(self, time: float, fn: Callable[[], None]) -> Event:
         """Schedule ``fn`` at absolute simulated time ``time``."""
-        if time < self._now:
+        if time < self.now:
             raise SimulationError(
-                f"cannot schedule at {time} before current time {self._now}"
+                f"cannot schedule at {time} before current time {self.now}"
             )
-        ev = Event(time=float(time), seq=next(self._seq), fn=fn)
-        heapq.heappush(self._heap, ev)
+        time = float(time)
+        seq = next(self._seq)
+        ev = Event(time, seq, fn, False, self)
+        heapq.heappush(self._heap, (time, seq, ev))
+        self._live += 1
         return ev
 
     def call_soon(self, fn: Callable[[], None]) -> Event:
         """Schedule ``fn`` at the current time (after pending same-time events)."""
         return self.schedule(0.0, fn)
+
+    # ------------------------------------------------------------------
+    # heap hygiene
+    # ------------------------------------------------------------------
+    def _maybe_compact(self) -> None:
+        """Rebuild the heap without cancelled entries once they dominate.
+
+        Triggered from :meth:`Event.cancel`: when more than half the heap
+        is dead weight (and the heap is big enough to matter), one O(n)
+        heapify is cheaper than sifting every future push/pop through the
+        corpses.  Removed entries count towards :attr:`events_cancelled`,
+        exactly as if the loop had popped and skipped them.
+        """
+        heap = self._heap
+        dead = len(heap) - self._live
+        if dead <= self._live or len(heap) < _COMPACT_MIN_HEAP:
+            return
+        # in-place rebuild: the run loops hold a reference to this list
+        heap[:] = [entry for entry in heap if not entry[2].cancelled]
+        heapq.heapify(heap)
+        self.events_cancelled += dead
+        self.heap_compactions += 1
+
+    def _bucket_for(self, period: float, time: float) -> "_TimerBucket":
+        """Find or create the shared periodic-timer bucket firing at
+        ``(period, time)`` (see :class:`_TimerBucket`)."""
+        key = (period, time)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = _TimerBucket(self, period, time)
+            bucket.event = self.schedule_at(time, bucket._fire)
+            self._buckets[key] = bucket
+        return bucket
 
     # ------------------------------------------------------------------
     # observability
@@ -177,26 +248,36 @@ class Engine:
                 self._loop_observed(until, max_events)
         finally:
             self._running = False
-        if until is not None and not self._stopped and self._now < until:
-            self._now = until
+        if until is not None and not self._stopped and self.now < until:
+            self.now = until
 
     def _loop(self, until: Optional[float], max_events: Optional[int]) -> None:
         """The original instrumentation-free hot loop (disabled fast path:
         observability adds exactly one ``is None`` dispatch per ``run()``
         call, nothing per event)."""
         fired = 0
-        while self._heap:
-            ev = self._heap[0]
+        heap = self._heap
+        pop = heapq.heappop
+        # sentinel bounds turn the per-event `is not None` guards into one
+        # plain comparison each (never true for the sentinels)
+        if until is None:
+            until = float("inf")
+        if max_events is None:
+            max_events = 0x7FFFFFFFFFFFFFFF
+        while heap:
+            entry = heap[0]
+            ev = entry[2]
             if ev.cancelled:
-                heapq.heappop(self._heap)
+                pop(heap)
                 self.events_cancelled += 1
                 continue
-            if until is not None and ev.time > until:
+            time = entry[0]
+            if time > until or fired >= max_events:
                 break
-            if max_events is not None and fired >= max_events:
-                break
-            heapq.heappop(self._heap)
-            self._now = ev.time
+            pop(heap)
+            self._live -= 1
+            ev._engine = None
+            self.now = time
             ev.fn()
             fired += 1
             self.events_processed += 1
@@ -222,19 +303,24 @@ class Engine:
         site_timers: dict = {}
         fired = 0
         heap = self._heap
+        pop = heapq.heappop
         while heap:
-            ev = heap[0]
+            entry = heap[0]
+            ev = entry[2]
             if ev.cancelled:
-                heapq.heappop(heap)
+                pop(heap)
                 self.events_cancelled += 1
                 c_cancel.inc()
                 continue
-            if until is not None and ev.time > until:
+            time = entry[0]
+            if until is not None and time > until:
                 break
             if max_events is not None and fired >= max_events:
                 break
-            heapq.heappop(heap)
-            self._now = ev.time
+            pop(heap)
+            self._live -= 1
+            ev._engine = None
+            self.now = time
             fn = ev.fn
             t0 = perf_counter()  # repro: noqa[DET002] obs event-timer instrumentation only
             fn()
@@ -253,15 +339,89 @@ class Engine:
             timer.observe(dur)
             if trace is not None:
                 trace.complete(site, trace.rel_us(t0), dur * 1e6,
-                               cat="engine", sim_time=self._now)
+                               cat="engine", sim_time=self.now)
             if progress is not None and not (fired & 0x3FF):
-                progress.maybe_beat(self._now, self.events_processed)
+                progress.maybe_beat(self.now, self.events_processed)
             if self._stopped:
                 break
 
     def stop(self) -> None:
         """Stop the loop after the current callback returns."""
         self._stopped = True
+
+
+class _TimerBucket:
+    """One heap entry shared by every periodic task on the same cadence.
+
+    Tasks registered with an identical ``(period, next_fire_time)`` key
+    fire from a single :class:`Event`; members run in registration order,
+    which matches the ``(time, seq)`` order separate per-task events would
+    have had (per-task events would carry adjacent sequence numbers).  After
+    firing, the surviving members re-register as one bucket at
+    ``time + period``, so a steady cadence costs one heap entry per firing
+    regardless of how many nodes share it.
+    """
+
+    __slots__ = ("engine", "period", "time", "key", "tasks", "live", "event")
+
+    def __init__(self, engine: "Engine", period: float, time: float) -> None:
+        self.engine = engine
+        self.period = period
+        self.time = time
+        self.key = (period, time)  # cached: built once per firing, not twice
+        self.tasks: List["PeriodicTask"] = []
+        self.live = 0  # members not yet stopped
+        self.event: Optional[Event] = None
+
+    def _fire(self) -> None:
+        engine = self.engine
+        buckets = engine._buckets
+        del buckets[self.key]
+        ev = self.event
+        self.event = None
+        tasks = self.tasks
+        for task in tasks:
+            # a member may be stopped by an earlier member's callback in
+            # this same firing -- exactly like a cancelled per-task event
+            if not task._stopped:
+                task._fn()
+        if self.live <= 0:
+            return
+        next_time = self.time + self.period
+        if self.live != len(tasks):
+            # prune members stopped since the last firing (or just now)
+            self.tasks = tasks = [t for t in tasks if not t._stopped]
+        key = (self.period, next_time)
+        other = buckets.get(key)
+        if other is None:
+            # steady state: re-use this bucket AND the event object that
+            # just fired, pushing inline (next_time > now, so schedule_at's
+            # past-check is vacuous; the seq keeps (time, seq) total order)
+            self.time = next_time
+            self.key = key
+            seq = next(engine._seq)
+            ev.time = next_time
+            ev.seq = seq
+            ev._engine = engine
+            self.event = ev
+            heapq.heappush(engine._heap, (next_time, seq, ev))
+            engine._live += 1
+            buckets[key] = self
+        else:
+            # another cadence-mate already occupies the slot: merge into it
+            for task in tasks:
+                other.tasks.append(task)
+                task._bucket = other
+            other.live += len(tasks)
+
+    def remove(self, task: "PeriodicTask") -> None:
+        """Account for a stopped member; drop the heap entry when the last
+        member leaves (so stopped cadences do not linger in the heap)."""
+        self.live -= 1
+        if self.live <= 0 and self.event is not None:
+            self.event.cancel()
+            self.event = None
+            self.engine._buckets.pop(self.key, None)
 
 
 class PeriodicTask:
@@ -272,6 +432,12 @@ class PeriodicTask:
     e.g. 5-minute status reports in a flash crowd must not all land on the
     log server in the same instant, exactly as in the deployed system where
     report phase depends on join time.
+
+    Unjittered tasks are *bucketed*: tasks sharing an exact
+    ``(period, phase)`` ride one heap entry instead of one each (see
+    :class:`_TimerBucket`), which collapses the per-tick heap traffic of
+    phase-aligned populations.  Jittered tasks re-draw their delay every
+    period, so each keeps its own event.
     """
 
     def __init__(
@@ -295,15 +461,26 @@ class PeriodicTask:
         self._rng = rng
         self._stopped = False
         self._event: Optional[Event] = None
+        self._bucket: Optional[_TimerBucket] = None
         delay = self._period if first_delay is None else float(first_delay)
-        self._arm(delay)
+        if self._jitter:
+            self._arm(delay)
+        else:
+            if delay < 0:
+                raise SimulationError(
+                    f"cannot schedule into the past (delay={delay})"
+                )
+            bucket = engine._bucket_for(self._period, engine.now + delay)
+            bucket.tasks.append(self)
+            bucket.live += 1
+            self._bucket = bucket
 
     def _arm(self, delay: float) -> None:
-        if self._jitter:
-            delay = max(0.0, delay + self._rng.uniform(-self._jitter, self._jitter))
+        delay = max(0.0, delay + self._rng.uniform(-self._jitter, self._jitter))
         self._event = self._engine.schedule(delay, self._tick)
 
     def _tick(self) -> None:
+        # jittered path only; bucketed tasks are driven by their bucket
         if self._stopped:
             return
         self._fn()
@@ -317,6 +494,11 @@ class PeriodicTask:
 
     def stop(self) -> None:
         """Stop the task; pending firing is cancelled."""
+        if self._stopped:
+            return
         self._stopped = True
         if self._event is not None:
             self._event.cancel()
+        if self._bucket is not None:
+            self._bucket.remove(self)
+            self._bucket = None

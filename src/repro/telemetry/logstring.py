@@ -12,26 +12,45 @@ percent-encoding of reserved characters, so arbitrary values round-trip.
 from __future__ import annotations
 
 from typing import Dict
-from urllib.parse import parse_qsl, quote, urlencode
+from urllib.parse import parse_qsl, quote
 
 __all__ = ["encode_log_string", "decode_log_string", "LOG_PATH"]
 
 LOG_PATH = "/log"
+
+# ``quote(s, safe="")`` is the identity on strings made of these RFC 3986
+# unreserved characters -- which covers almost every report field (numeric
+# ids, timestamps, enum names).  Checking set membership is far cheaper
+# than running the quoter, and bit-identical by definition of quote().
+_UNRESERVED = frozenset(
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789_.-~"
+)
 
 
 def encode_log_string(params: Dict[str, str]) -> str:
     """Encode a parameter dict as an HTTP request URL string.
 
     Keys are emitted in insertion order (clients build them
-    deterministically), values are percent-encoded.
+    deterministically), values are percent-encoded.  Output is identical
+    to ``urlencode(params, quote_via=quote)``; unreserved-only strings
+    skip the quoter.
     """
     if not params:
         raise ValueError("a log string needs at least one parameter")
-    for key in params:
+    unreserved = _UNRESERVED.issuperset
+    parts = []
+    append = parts.append
+    for key, value in params.items():
         if not key or "=" in key or "&" in key:
             raise ValueError(f"invalid parameter name {key!r}")
-    query = urlencode(params, quote_via=quote)
-    return f"{LOG_PATH}?{query}"
+        if not unreserved(key):
+            key = quote(key, safe="")
+        if not isinstance(value, str):
+            value = str(value)
+        if not unreserved(value):
+            value = quote(value, safe="")
+        append(key + "=" + value)
+    return LOG_PATH + "?" + "&".join(parts)
 
 
 def decode_log_string(log_string: str) -> Dict[str, str]:

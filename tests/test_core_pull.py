@@ -35,7 +35,7 @@ class TestPullScheduler:
         sched = self.make()
         sched.enqueue(1, [PullRequest(0, 0, 4)])
         got, push = self.collect()
-        sched.deliver(1.0, [10], lambda h: 0, push)
+        sched.deliver(1.0, [10], 1 << 30, push)
         assert got == [(1, 0, 0, 4)]
         assert sched.outstanding(1) == 0
 
@@ -43,11 +43,11 @@ class TestPullScheduler:
         sched = self.make(slots=3.0)  # 3 blocks/s at catch-up... capped by rate
         sched.enqueue(1, [PullRequest(0, 0, 9)])
         got, push = self.collect()
-        sched.deliver(1.0, [20], lambda h: 0, push)
+        sched.deliver(1.0, [20], 1 << 30, push)
         served_first = sum(l - f + 1 for _c, _s, f, l in got)
         assert 0 < served_first < 10
         for _ in range(5):
-            sched.deliver(1.0, [20], lambda h: 0, push)
+            sched.deliver(1.0, [20], 1 << 30, push)
         served = sum(l - f + 1 for _c, _s, f, l in got)
         assert served == 10
 
@@ -55,14 +55,14 @@ class TestPullScheduler:
         sched = self.make()
         sched.enqueue(1, [PullRequest(0, 0, 9)])
         got, push = self.collect()
-        sched.deliver(1.0, [4], lambda h: 0, push)
+        sched.deliver(1.0, [4], 1 << 30, push)
         assert got[-1][3] <= 4
 
     def test_discards_unservable(self):
         sched = self.make()
         sched.enqueue(1, [PullRequest(0, 50, 60)])  # far beyond head
         got, push = self.collect()
-        sched.deliver(1.0, [4], lambda h: 0, push)
+        sched.deliver(1.0, [4], 1 << 30, push)
         assert got == []
         assert sched.outstanding(1) == 0  # dropped; child will re-request
 
@@ -70,14 +70,14 @@ class TestPullScheduler:
         sched = self.make()
         sched.enqueue(1, [PullRequest(0, 90, 99)])
         got, push = self.collect()
-        sched.deliver(1.0, [100], lambda h: 95, push)
+        sched.deliver(1.0, [100], 6, push)
         assert got[0][2] == 95  # evicted prefix skipped
 
     def test_fully_evicted_request_discarded(self):
         sched = self.make()
         sched.enqueue(1, [PullRequest(0, 0, 9)])
         got, push = self.collect()
-        sched.deliver(1.0, [100], lambda h: 95, push)
+        sched.deliver(1.0, [100], 6, push)
         assert got == []
         assert sched.outstanding(1) == 0
 
@@ -87,7 +87,7 @@ class TestPullScheduler:
         sched.enqueue(2, [PullRequest(0, 0, 99)])
         got, push = self.collect()
         for _ in range(10):
-            sched.deliver(1.0, [200], lambda h: 0, push)
+            sched.deliver(1.0, [200], 1 << 30, push)
         per_child = {1: 0, 2: 0}
         for c, _s, f, l in got:
             per_child[c] += l - f + 1
@@ -192,3 +192,65 @@ class TestPullModeEndToEnd:
     def test_mode_validation(self):
         with pytest.raises(ValueError):
             SystemConfig(delivery_mode="hybrid")
+
+
+class TestQueuedBlocksCache:
+    """``outstanding`` reads an O(1) per-child cache; it must agree with a
+    brute-force scan of the actual queues after any operation mix."""
+
+    @staticmethod
+    def _brute_force(sched, child):
+        return sum(r.last - r.first + 1
+                   for r in sched._queues.get(child, ()))
+
+    def _check_all(self, sched, children):
+        for c in children:
+            assert sched.outstanding(c) == self._brute_force(sched, c)
+
+    def test_cache_tracks_queues_through_mixed_workload(self, rng):
+        sched = PullScheduler(4.0, 1.0, 1.0)
+        children = (1, 2, 3)
+        for _step in range(300):
+            action = int(rng.integers(0, 5))
+            child = int(rng.choice(children))
+            if action in (0, 1):
+                first = int(rng.integers(0, 50))
+                span = int(rng.integers(0, 10))
+                sched.enqueue(child, [PullRequest(0, first, first + span)])
+            elif action == 2:
+                # normal service; some requests clamp or drop at the head
+                sched.deliver(1.0, [int(rng.integers(0, 60))], 1 << 30,
+                              lambda *a: None)
+            elif action == 3:
+                sched.drop_child(child)
+            else:
+                # tiny cache window: forces eviction-driven drops/clamps
+                sched.deliver(1.0, [30], 6, lambda *a: None)
+            self._check_all(sched, children)
+
+    def test_drop_child_after_partial_service(self):
+        sched = PullScheduler(2.0, 1.0, 1.0)
+        sched.enqueue(1, [PullRequest(0, 0, 9)])
+        sched.deliver(1.0, [20], 1 << 30, lambda *a: None)  # partial service
+        assert 0 < sched.outstanding(1) < 10
+        sched.drop_child(1)
+        assert sched.outstanding(1) == 0 == self._brute_force(sched, 1)
+        assert sched.busy_children == 0
+        # a re-joining child starts from a fresh, consistent cache entry
+        sched.enqueue(1, [PullRequest(0, 0, 4)])
+        assert sched.outstanding(1) == 5 == self._brute_force(sched, 1)
+
+    def test_push_callback_dropping_child_keeps_cache_consistent(self):
+        """deliver()'s settlement must survive push() re-entering
+        drop_child (a failed send departing the child mid-quantum)."""
+        sched = PullScheduler(4.0, 1.0, 1.0)
+        sched.enqueue(1, [PullRequest(0, 0, 9)])
+        sched.enqueue(2, [PullRequest(0, 0, 9)])
+
+        def push(child, _sub, _first, _last):
+            if child == 1:
+                sched.drop_child(1)
+
+        sched.deliver(1.0, [20], 1 << 30, push)
+        self._check_all(sched, (1, 2))
+        assert sched.outstanding(1) == 0

@@ -14,8 +14,8 @@ def collect_pushes():
     return pushed, push
 
 
-def no_window(head):
-    return 0  # everything is always available
+# a cache window so large everything is always available
+no_window = 1 << 30
 
 
 class TestSubscriptions:
@@ -133,8 +133,8 @@ class TestDelivery:
         sched = UploadScheduler(100.0, 1.0, 1.0)
         sched.subscribe(1, 0, 0, now=0.0)
         pushed, push = collect_pushes()
-        # window floor at 50: blocks 0..49 are gone
-        sched.deliver(1.0, [60], lambda head: 50, push)
+        # window of 11 puts the floor at 50 for head 60: blocks 0..49 are gone
+        sched.deliver(1.0, [60], 11, push)
         assert pushed[0][2] == 50  # first delivered block is the floor
 
     def test_credit_carries_fractional_blocks(self):

@@ -12,7 +12,7 @@ from hypothesis import strategies as st
 from repro.core.buffer import SyncBuffer
 from repro.core.stream import UploadScheduler
 from repro.network.fairshare import waterfill
-from repro.sim.engine import Engine, Event
+from repro.sim.engine import Engine, Event, PeriodicTask
 
 
 class TestSyncBufferBulkPath:
@@ -74,7 +74,7 @@ class TestDeliverFastPath:
                 got[conn.child_id] += last - first + 1
 
             for head in range(1, 21):
-                sched.deliver(1.0, [head], lambda h: 0, push)
+                sched.deliver(1.0, [head], 1 << 30, push)
             return got
 
         ample = run(100.0)   # fast path
@@ -107,3 +107,156 @@ class TestEventOrdering:
             by_time[i % 3].append(i)
         for ids in by_time.values():
             assert ids == sorted(ids)
+
+
+class TestLiveEventCounter:
+    """``len(engine)`` is an O(1) counter; it must track the heap exactly."""
+
+    @staticmethod
+    def _brute_force(eng):
+        return sum(1 for _t, _s, ev in eng._heap if not ev.cancelled)
+
+    def test_counter_matches_brute_force_under_cancel_heavy_workload(self):
+        eng = Engine()
+        rng = np.random.default_rng(42)
+        live = []
+        for _step in range(1500):
+            action = int(rng.integers(0, 3))
+            if action == 0 or not live:
+                live.append(eng.schedule(float(rng.integers(0, 100)),
+                                         lambda: None))
+            elif action == 1:
+                live.pop(int(rng.integers(0, len(live)))).cancel()
+            else:
+                # double-cancel must not decrement the counter twice
+                ev = live[int(rng.integers(0, len(live)))]
+                ev.cancel()
+                ev.cancel()
+            assert len(eng) == self._brute_force(eng)
+
+    def test_counter_through_partial_and_full_runs(self):
+        eng = Engine()
+        evs = [eng.schedule(float(i), lambda: None) for i in range(100)]
+        for ev in evs[::3]:
+            ev.cancel()
+        eng.run(max_events=20)
+        assert len(eng) == self._brute_force(eng)
+        eng.run()
+        assert len(eng) == 0 == self._brute_force(eng)
+
+    def test_cancel_after_firing_is_a_counted_noop(self):
+        eng = Engine()
+        fired_ev = eng.schedule(1.0, lambda: None)
+        eng.schedule(2.0, lambda: None)
+        eng.run(until=1.5)
+        assert len(eng) == 1
+        # the back-reference is detached on pop: a late cancel of an event
+        # that already fired must not corrupt the live count
+        fired_ev.cancel()
+        assert len(eng) == 1 == self._brute_force(eng)
+
+
+class TestHeapCompaction:
+    def test_bulk_cancel_triggers_compaction_and_preserves_order(self):
+        eng = Engine()
+        fired = []
+        keep_ids = []
+        cancels = []
+        for i in range(600):
+            if i % 4 == 0:
+                keep_ids.append(i)
+                eng.schedule(float(i), lambda i=i: fired.append(i))
+            else:
+                cancels.append(eng.schedule(float(i), lambda: None))
+        assert eng.heap_compactions == 0
+        for ev in cancels:
+            ev.cancel()
+        assert eng.heap_compactions >= 1
+        assert len(eng) == len(keep_ids)
+        assert len(eng) == sum(1 for _t, _s, ev in eng._heap
+                               if not ev.cancelled)
+        eng.run()
+        assert fired == keep_ids  # survivors fire in their original order
+        assert eng.events_processed == len(keep_ids)
+        # every cancelled entry is accounted for exactly once, whether it
+        # was removed by the compactor or skipped lazily by the loop
+        assert eng.events_cancelled == len(cancels)
+
+
+class TestTimerBucketing:
+    def test_same_cadence_tasks_share_one_heap_entry(self):
+        eng = Engine()
+        fired = []
+        tasks = [PeriodicTask(eng, 5.0, lambda i=i: fired.append(i))
+                 for i in range(10)]
+        assert len(eng) == 1  # one shared entry, not ten
+        eng.run(until=5.0)
+        assert fired == list(range(10))  # members fire in registration order
+        assert tasks[0].period == 5.0
+
+    def test_bucketed_order_equals_per_task_event_order(self):
+        """Bucketing is an optimization: the observable firing sequence must
+        match what individually scheduled per-task events would produce."""
+        periods = [2.0, 3.0, 2.0, 5.0, 3.0, 2.0]
+        horizon = 30.0
+
+        eng_b = Engine()
+        log_b = []
+        tasks = [PeriodicTask(eng_b, p,
+                              lambda i=i: log_b.append((eng_b.now, i)))
+                 for i, p in enumerate(periods)]
+        eng_b.run(until=horizon)
+
+        eng_p = Engine()
+        log_p = []
+
+        def chain(i, period):
+            def tick():
+                log_p.append((eng_p.now, i))
+                eng_p.schedule(period, tick)
+            return tick
+
+        for i, p in enumerate(periods):
+            eng_p.schedule(p, chain(i, p))
+        eng_p.run(until=horizon)
+
+        assert log_b == log_p
+        for t in tasks:
+            t.stop()
+
+    def test_phase_collision_merges_buckets(self):
+        eng = Engine()
+        log = []
+        PeriodicTask(eng, 4.0, lambda: log.append("a"))  # fires 4, 8, ...
+        PeriodicTask(eng, 4.0, lambda: log.append("b"),
+                     first_delay=8.0)                    # fires 8, 12, ...
+        eng.run(until=12.0)
+        # at t=8 a's re-registration collides with b's initial bucket and
+        # merges into it; b keeps priority (its event has the older seq,
+        # exactly as per-task events would order it)
+        assert log == ["a", "b", "a", "b", "a"]
+        assert len(eng) == 1  # still a single merged heap entry
+
+    def test_member_stopped_mid_firing_does_not_fire(self):
+        eng = Engine()
+        log = []
+        tasks = {}
+
+        def a_fn():
+            log.append("a")
+            tasks["b"].stop()
+
+        tasks["a"] = PeriodicTask(eng, 2.0, a_fn)
+        tasks["b"] = PeriodicTask(eng, 2.0, lambda: log.append("b"))
+        eng.run(until=6.0)
+        assert log == ["a", "a", "a"]
+
+    def test_stopping_all_members_drops_heap_entry(self):
+        eng = Engine()
+        tasks = [PeriodicTask(eng, 7.0, lambda: None) for _ in range(3)]
+        assert len(eng) == 1
+        for t in tasks:
+            t.stop()
+        assert len(eng) == 0
+        eng.run()
+        assert eng.events_processed == 0

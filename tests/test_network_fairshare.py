@@ -5,7 +5,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.network.fairshare import FairShareAllocator, waterfill
+from repro.network.fairshare import (
+    _SMALL_N,
+    _waterfill_np,
+    _waterfill_py,
+    FairShareAllocator,
+    waterfill,
+    waterfill_rates,
+)
 
 
 class TestWaterfill:
@@ -152,3 +159,87 @@ class TestAllocator:
         alloc.set_demand("a", 1.0)
         alloc.set_demand("b", 1.0)
         assert alloc.n_connections == 2
+
+
+class TestWaterfillFastPathEquivalence:
+    """The small-n pure-Python path must be bit-identical to the numpy
+    reference path -- it is substituted silently under ``_SMALL_N``."""
+
+    def test_zero_capacity(self):
+        assert _waterfill_py(0.0, [1.0, 2.0, 3.0]) == [0.0, 0.0, 0.0]
+        assert _waterfill_np(0.0, np.array([1.0, 2.0, 3.0])).tolist() == \
+            [0.0, 0.0, 0.0]
+
+    def test_single_demand(self):
+        for cap, d in [(10.0, 4.0), (3.0, 4.0), (0.0, 4.0), (5.0, 0.0)]:
+            py = _waterfill_py(cap, [d])
+            ref = _waterfill_np(cap, np.array([d])).tolist()
+            assert py == ref
+
+    def test_all_equal_demands(self):
+        for cap in (0.0, 5.0, 9.0, 100.0):
+            demands = [3.0] * 7
+            py = _waterfill_py(cap, demands)
+            ref = _waterfill_np(cap, np.array(demands)).tolist()
+            assert py == ref  # bitwise, incl. the ulp tie-assignment
+
+    def test_infinite_demands(self):
+        demands = [float("inf"), 2.0, float("inf")]
+        py = _waterfill_py(9.0, demands)
+        ref = _waterfill_np(9.0, np.array(demands)).tolist()
+        assert py == ref
+
+    def test_empty_demands(self):
+        assert _waterfill_py(5.0, []) == []
+
+    def test_randomized_seeded_vectors_bitwise_equal(self):
+        rng = np.random.default_rng(0)
+        for _ in range(400):
+            n = int(rng.integers(1, _SMALL_N + 1))
+            scale = float(rng.choice([1.0, 100.0, 1e4]))
+            demands = (rng.random(n) * scale).tolist()
+            mode = rng.random()
+            if mode < 0.2:
+                demands = [demands[0]] * n  # full tie group
+            elif mode < 0.4:
+                # partial ties: duplicate a random prefix value
+                demands[: n // 2 + 1] = [demands[0]] * (n // 2 + 1)
+            if rng.random() < 0.2:
+                demands[int(rng.integers(0, n))] = 0.0
+            capacity = float(rng.random() * scale * n * 0.7)
+            ref = _waterfill_np(capacity, np.asarray(demands)).tolist()
+            assert _waterfill_py(capacity, demands) == ref
+
+    @given(
+        capacity=st.floats(0.0, 1e6, allow_nan=False),
+        demands=st.lists(st.floats(0.0, 1e5, allow_nan=False),
+                         min_size=1, max_size=16),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_property_bitwise_equal_to_numpy(self, capacity, demands):
+        ref = _waterfill_np(capacity, np.asarray(demands, dtype=float))
+        assert _waterfill_py(capacity, demands) == ref.tolist()
+
+    @given(
+        capacity=st.floats(0.0, 100.0, allow_nan=False),
+        demands=st.lists(st.sampled_from([0.0, 1.0, 1.5, 2.0, 7.25]),
+                         min_size=2, max_size=16),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_property_tie_heavy_patterns_bitwise_equal(self, capacity, demands):
+        """Discrete demand values force ties, exercising the perm-replay
+        branch that pins argsort's tie order."""
+        ref = _waterfill_np(capacity, np.asarray(demands, dtype=float))
+        assert _waterfill_py(capacity, demands) == ref.tolist()
+
+    def test_dispatch_boundary_is_seamless(self):
+        """waterfill_rates switches paths at _SMALL_N; results on either
+        side of the cutoff must agree with both implementations."""
+        rng = np.random.default_rng(9)
+        for n in (_SMALL_N, _SMALL_N + 1):
+            demands = (rng.random(n) * 50.0).tolist()
+            capacity = 0.4 * sum(demands)
+            via_rates = waterfill_rates(capacity, demands)
+            assert via_rates == _waterfill_py(capacity, demands)
+            assert via_rates == _waterfill_np(
+                capacity, np.asarray(demands)).tolist()
