@@ -14,9 +14,29 @@ our figures the same way they affected the paper's.
   the one consumer of simulator-side snapshots (the paper, too, could only
   *conjecture* the overlay -- we get to check the conjecture).
 * :mod:`repro.analysis.stats` -- CDF / binning helpers shared by all.
+* :mod:`repro.analysis.streaming` -- the single-pass fold layer every
+  whole-trace reconstruction above now routes through, so N statistics
+  over a spilled production-volume log cost one streaming read.
 """
 
-from repro.analysis.funnel import JoinFunnel, funnel_by_attempt, join_funnel
+from repro.analysis.funnel import (
+    JoinFunnel,
+    funnel_by_attempt,
+    funnel_of_table,
+    join_funnel,
+)
+from repro.analysis.streaming import (
+    ClassifyUsersFold,
+    ConcurrentUsersFold,
+    ContinuitySamplesFold,
+    Fold,
+    JoinFunnelFold,
+    PartnerEventsFold,
+    SessionTableFold,
+    UploadTotalsFold,
+    fold_log,
+    iter_reports,
+)
 from repro.analysis.partners import (
     churn_by_type,
     churn_rate_timeseries,
@@ -39,7 +59,18 @@ from repro.analysis.stats import Cdf, bin_timeseries
 __all__ = [
     "JoinFunnel",
     "funnel_by_attempt",
+    "funnel_of_table",
     "join_funnel",
+    "Fold",
+    "fold_log",
+    "iter_reports",
+    "SessionTableFold",
+    "ClassifyUsersFold",
+    "UploadTotalsFold",
+    "ContinuitySamplesFold",
+    "PartnerEventsFold",
+    "ConcurrentUsersFold",
+    "JoinFunnelFold",
     "churn_by_type",
     "churn_rate_timeseries",
     "partner_events",

@@ -20,7 +20,6 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.network.connectivity import ConnectivityClass
-from repro.telemetry.reports import ActivityReport, PartnerReport
 from repro.telemetry.server import LogServer
 
 __all__ = ["UserType", "classify_users", "expected_user_type"]
@@ -64,37 +63,13 @@ def classify_users(log: LogServer) -> Dict[int, UserType]:
     all (very short sessions) are classified from address type alone:
     public -> firewall, private -> NAT -- the conservative choice, since
     no incoming partnership was ever observed.
-    """
-    observed: Dict[int, _Observed] = {}
-    for report in log.reports():
-        if isinstance(report, ActivityReport):
-            obs = observed.setdefault(report.node_id, _Observed())
-            obs.address_public = report.address_public
-        elif isinstance(report, PartnerReport):
-            obs = observed.setdefault(report.node_id, _Observed())
-            # cumulative counters: the latest report carries the total
-            obs.incoming = max(obs.incoming, report.n_incoming)
-            obs.outgoing = max(obs.outgoing, report.n_outgoing)
-            # the compact event series also reveals direction
-            for event in report.events:
-                if event.incoming:
-                    obs.incoming = max(obs.incoming, 1)
-                else:
-                    obs.outgoing = max(obs.outgoing, 1)
 
-    result: Dict[int, UserType] = {}
-    for node_id, obs in observed.items():
-        public = bool(obs.address_public)
-        has_incoming = obs.incoming > 0
-        if public and has_incoming:
-            result[node_id] = UserType.DIRECT
-        elif not public and has_incoming:
-            result[node_id] = UserType.UPNP
-        elif not public:
-            result[node_id] = UserType.NAT
-        else:
-            result[node_id] = UserType.FIREWALL
-    return result
+    Single streaming pass; the per-report logic lives in
+    :class:`repro.analysis.streaming.ClassifyUsersFold`.
+    """
+    from repro.analysis.streaming import ClassifyUsersFold, fold_log
+
+    return fold_log(log, ClassifyUsersFold())[0]
 
 
 def type_distribution(types: Dict[int, UserType]) -> Dict[UserType, float]:

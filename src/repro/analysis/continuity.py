@@ -13,9 +13,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.analysis.classification import UserType, classify_users
+from repro.analysis.classification import UserType
 from repro.analysis.stats import bin_timeseries
-from repro.telemetry.reports import QoSReport
 from repro.telemetry.server import LogServer
 
 __all__ = [
@@ -30,16 +29,14 @@ def continuity_samples(
     log: LogServer, *, playing_only: bool = True
 ) -> List[Tuple[float, int, float]]:
     """(report_time, node_id, continuity) for every QoS report that carried
-    a continuity value."""
-    out = []
-    for report in log.reports_of(QoSReport):
-        assert isinstance(report, QoSReport)
-        if report.continuity is None:
-            continue
-        if playing_only and not report.playing:
-            continue
-        out.append((report.time, report.node_id, report.continuity))
-    return out
+    a continuity value.
+
+    Single streaming pass via
+    :class:`repro.analysis.streaming.ContinuitySamplesFold`.
+    """
+    from repro.analysis.streaming import ContinuitySamplesFold, fold_log
+
+    return fold_log(log, ContinuitySamplesFold(playing_only=playing_only))[0]
 
 
 def continuity_timeseries(
@@ -72,8 +69,18 @@ def continuity_by_type(
     window, so their curve can sit *above* the direct-connect curve.
     """
     if types is None:
-        types = classify_users(log)
-    samples = continuity_samples(log)
+        # one streaming pass computes the classifier and the samples
+        from repro.analysis.streaming import (
+            ClassifyUsersFold,
+            ContinuitySamplesFold,
+            fold_log,
+        )
+
+        types, samples = fold_log(
+            log, ClassifyUsersFold(), ContinuitySamplesFold()
+        )
+    else:
+        samples = continuity_samples(log)
     if not samples:
         raise ValueError("log contains no continuity samples")
     out: Dict[UserType, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
@@ -96,9 +103,19 @@ def mean_continuity(
     """Run-level average continuity (the Fig. 9 y-value), optionally for
     one user type and excluding warm-up reports before ``after``."""
     if user_type is not None and types is None:
-        types = classify_users(log)
+        from repro.analysis.streaming import (
+            ClassifyUsersFold,
+            ContinuitySamplesFold,
+            fold_log,
+        )
+
+        types, samples = fold_log(
+            log, ClassifyUsersFold(), ContinuitySamplesFold()
+        )
+    else:
+        samples = continuity_samples(log)
     values = []
-    for t, node_id, c in continuity_samples(log):
+    for t, node_id, c in samples:
         if t < after:
             continue
         if user_type is not None and types.get(node_id) is not user_type:

@@ -13,8 +13,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.analysis.classification import UserType, classify_users
-from repro.telemetry.reports import TrafficReport
+from repro.analysis.classification import UserType
 from repro.telemetry.server import LogServer
 
 __all__ = [
@@ -28,13 +27,14 @@ __all__ = [
 
 def upload_totals(log: LogServer) -> Dict[int, float]:
     """Total uploaded bytes per node, from the last traffic report of each
-    node (reports carry cumulative totals, so the max is the total)."""
-    totals: Dict[int, float] = {}
-    for report in log.reports_of(TrafficReport):
-        assert isinstance(report, TrafficReport)
-        prev = totals.get(report.node_id, 0.0)
-        totals[report.node_id] = max(prev, report.total_up)
-    return totals
+    node (reports carry cumulative totals, so the max is the total).
+
+    Single streaming pass via
+    :class:`repro.analysis.streaming.UploadTotalsFold`.
+    """
+    from repro.analysis.streaming import UploadTotalsFold, fold_log
+
+    return fold_log(log, UploadTotalsFold())[0]
 
 
 def upload_shares(log: LogServer) -> Dict[int, float]:
@@ -55,8 +55,16 @@ def contribution_by_type(
     population share against its >80% byte share.
     """
     if types is None:
-        types = classify_users(log)
-    totals = upload_totals(log)
+        # one streaming pass computes both inputs
+        from repro.analysis.streaming import (
+            ClassifyUsersFold,
+            UploadTotalsFold,
+            fold_log,
+        )
+
+        types, totals = fold_log(log, ClassifyUsersFold(), UploadTotalsFold())
+    else:
+        totals = upload_totals(log)
     # population over all classified nodes; bytes over reported traffic
     n = len(types)
     grand = sum(totals.values())

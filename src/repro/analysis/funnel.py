@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.analysis.sessions import SessionTable
 from repro.telemetry.server import LogServer
 
-__all__ = ["JoinFunnel", "join_funnel", "funnel_by_attempt"]
+__all__ = ["JoinFunnel", "join_funnel", "funnel_of_table", "funnel_by_attempt"]
 
 
 @dataclass(frozen=True)
@@ -63,11 +63,10 @@ class JoinFunnel:
         return out
 
 
-def join_funnel(log: LogServer,
-                table: Optional[SessionTable] = None) -> JoinFunnel:
-    """Build the funnel over every session in the log."""
-    if table is None:
-        table = SessionTable.from_log(log)
+def funnel_of_table(table: SessionTable) -> JoinFunnel:
+    """Count the funnel stages of an already-reconstructed table (shared
+    by :func:`join_funnel` and the streaming
+    :class:`~repro.analysis.streaming.JoinFunnelFold`)."""
     joined = subscribed = ready = completed = 0
     for sess in table:
         if sess.join_time is None:
@@ -81,6 +80,14 @@ def join_funnel(log: LogServer,
                     completed += 1
     return JoinFunnel(joined=joined, subscribed=subscribed, ready=ready,
                       completed=completed)
+
+
+def join_funnel(log: LogServer,
+                table: Optional[SessionTable] = None) -> JoinFunnel:
+    """Build the funnel over every session in the log."""
+    if table is None:
+        table = SessionTable.from_log(log)
+    return funnel_of_table(table)
 
 
 def funnel_by_attempt(log: LogServer) -> Dict[int, JoinFunnel]:

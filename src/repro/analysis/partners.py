@@ -13,9 +13,9 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.analysis.classification import UserType, classify_users
+from repro.analysis.classification import UserType
 from repro.analysis.stats import bin_timeseries
-from repro.telemetry.reports import PartnerOp, PartnerReport
+from repro.telemetry.reports import PartnerOp
 from repro.telemetry.server import LogServer
 
 __all__ = [
@@ -28,15 +28,15 @@ __all__ = [
 
 def partner_events(log: LogServer) -> List[Tuple[float, int, PartnerOp, int, bool]]:
     """Flatten every compact partner report back into
-    ``(event_time, node_id, op, partner_id, incoming)`` tuples."""
-    out = []
-    for report in log.reports_of(PartnerReport):
-        assert isinstance(report, PartnerReport)
-        for ev in report.events:
-            out.append((ev.time, report.node_id, ev.op, ev.partner_id,
-                        ev.incoming))
-    out.sort(key=lambda x: x[0])
-    return out
+    ``(event_time, node_id, op, partner_id, incoming)`` tuples, sorted by
+    event time.
+
+    Single streaming pass via
+    :class:`repro.analysis.streaming.PartnerEventsFold`.
+    """
+    from repro.analysis.streaming import PartnerEventsFold, fold_log
+
+    return fold_log(log, PartnerEventsFold())[0]
 
 
 def churn_rate_timeseries(
@@ -92,9 +92,20 @@ def churn_by_type(
     than direct/UPnP peers (their parents' children lose competitions).
     """
     if types is None:
-        types = classify_users(log)
+        # one streaming pass computes the classifier and the events
+        from repro.analysis.streaming import (
+            ClassifyUsersFold,
+            PartnerEventsFold,
+            fold_log,
+        )
+
+        types, events = fold_log(
+            log, ClassifyUsersFold(), PartnerEventsFold()
+        )
+    else:
+        events = partner_events(log)
     drops: Dict[int, int] = {}
-    for _t, node, op, _p, _inc in partner_events(log):
+    for _t, node, op, _p, _inc in events:
         if op is PartnerOp.DROP:
             drops[node] = drops.get(node, 0) + 1
     out: Dict[UserType, float] = {}

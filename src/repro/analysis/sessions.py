@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.telemetry.reports import ActivityEvent, ActivityReport, LeaveReason
+from repro.telemetry.reports import LeaveReason
 from repro.telemetry.server import LogServer
 
 __all__ = ["Session", "SessionTable"]
@@ -93,30 +93,12 @@ class SessionTable:
 
     @classmethod
     def from_log(cls, log: LogServer) -> "SessionTable":
-        """Reconstruct from a log server's activity reports."""
-        sessions: Dict[int, Session] = {}
-        for report in log.reports_of(ActivityReport):
-            assert isinstance(report, ActivityReport)
-            sess = sessions.get(report.session_id)
-            if sess is None:
-                sess = Session(
-                    session_id=report.session_id,
-                    user_id=report.user_id,
-                    node_id=report.node_id,
-                    attempt=report.attempt,
-                    address_public=report.address_public,
-                )
-                sessions[report.session_id] = sess
-            if report.event is ActivityEvent.JOIN:
-                sess.join_time = report.time
-            elif report.event is ActivityEvent.START_SUBSCRIPTION:
-                sess.subscription_time = report.time
-            elif report.event is ActivityEvent.PLAYER_READY:
-                sess.ready_time = report.time
-            elif report.event is ActivityEvent.LEAVE:
-                sess.leave_time = report.time
-                sess.leave_reason = report.reason
-        return cls(sessions)
+        """Reconstruct from a log's activity reports (single streaming
+        pass; the per-report logic lives in
+        :class:`repro.analysis.streaming.SessionTableFold`)."""
+        from repro.analysis.streaming import SessionTableFold, fold_log
+
+        return fold_log(log, SessionTableFold())[0]
 
     # --- access -----------------------------------------------------------
     def __len__(self) -> int:

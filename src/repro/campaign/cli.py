@@ -4,7 +4,9 @@ Usage::
 
     python -m repro campaign run spec.json --jobs 4 --store .campaign
     python -m repro campaign run spec.json --resume --progress
+    python -m repro campaign run spec.json --log-spill /tmp/spill
     python -m repro campaign status --store .campaign
+    python -m repro campaign status --follow      # live until terminal
     python -m repro campaign clean --store .campaign
 
 ``run`` executes the spec's grid, skipping runs already present in the
@@ -67,14 +69,25 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="write the figure-ready campaign JSON artifact")
     p_run.add_argument("--metrics-out", default=None, metavar="PATH",
                        help="write a JSONL metrics time series (plus "
-                            "*.manifest.json sidecar)")
+                            "*.manifest.json sidecar); view live with "
+                            "'python -m repro watch PATH'")
     p_run.add_argument("--progress", action="store_true",
                        help="print campaign heartbeat lines to stderr")
+    p_run.add_argument("--log-spill", default=None, metavar="DIR",
+                       help="spill every run's telemetry log to gzip chunks "
+                            "under DIR (storage-only; never enters run keys; "
+                            "overrides the spec's 'log_spill' key)")
     p_run.add_argument("--quiet", action="store_true",
                        help="suppress the per-run table on stdout")
 
     p_status = sub.add_parser("status", help="show journalled campaigns")
     p_status.add_argument("--store", default=DEFAULT_STORE_DIR)
+    p_status.add_argument("--follow", action="store_true",
+                          help="re-poll the journal until every campaign "
+                               "reaches a terminal state")
+    p_status.add_argument("--interval", type=float, default=2.0, metavar="S",
+                          help="poll interval with --follow "
+                               "(default %(default)ss)")
 
     p_clean = sub.add_parser("clean", help="drop the store and journal")
     p_clean.add_argument("--store", default=DEFAULT_STORE_DIR)
@@ -87,6 +100,8 @@ def _cmd_run(args) -> int:
     except SpecError as exc:
         print(f"error: bad spec: {exc}", file=sys.stderr)
         return 2
+    if args.log_spill:
+        spec.log_spill = args.log_spill
     store = ResultStore(args.store)
 
     if args.resume:
@@ -150,32 +165,62 @@ def _cmd_run(args) -> int:
     return 0 if report.failed == 0 else 1
 
 
-def _cmd_status(args) -> int:
-    store = ResultStore(args.store)
+def _status_rows(store: ResultStore):
+    """(table rows, cached-object count, any-campaign-still-running)."""
     campaigns = store.journal_status()
     n_objects = sum(1 for _ in store.keys())
-    if not campaigns:
-        print(f"no journalled campaigns in {store.root} "
-              f"({n_objects} cached objects)")
-        return 0
     rows = []
+    any_running = False
     for ck, info in sorted(campaigns.items(), key=lambda kv: kv[1]["last_ts"]):
         counts = info["counts"]
         state = "interrupted" if info["interrupted"] else (
             "incomplete" if counts.get("start", 0) or counts.get("retry", 0)
             else "complete"
         )
+        if state == "incomplete":
+            any_running = True
         rows.append((
             info["name"], ck[:12], info["total"],
             counts.get("done", 0), counts.get("cached", 0),
             counts.get("failed", 0), state,
         ))
+    return rows, n_objects, any_running
+
+
+def _print_status(store: ResultStore, rows, n_objects) -> None:
+    if not rows:
+        print(f"no journalled campaigns in {store.root} "
+              f"({n_objects} cached objects)")
+        return
     print(render_table(
         ("campaign", "key", "runs", "done", "cached", "failed", "state"),
         rows,
     ))
     print(f"{n_objects} cached objects in {store.root}")
-    return 0
+
+
+def _cmd_status(args) -> int:
+    store = ResultStore(args.store)
+    if not getattr(args, "follow", False):
+        rows, n_objects, _ = _status_rows(store)
+        _print_status(store, rows, n_objects)
+        return 0
+    if args.interval <= 0:
+        print("error: status: --interval must be positive", file=sys.stderr)
+        return 2
+    # follow mode: re-render whenever the journal changes, stop once every
+    # campaign is terminal (complete or interrupted)
+    import time
+
+    last_rows = None
+    while True:
+        rows, n_objects, any_running = _status_rows(store)
+        if rows != last_rows:
+            _print_status(store, rows, n_objects)
+            last_rows = rows
+        if not any_running:
+            return 0
+        time.sleep(args.interval)  # repro: noqa[DET002] status-poll pacing, no simulation state
 
 
 def _cmd_clean(args) -> int:

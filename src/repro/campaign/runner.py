@@ -286,6 +286,12 @@ def run_campaign(
     """
     jobs = max(1, int(jobs if jobs is not None else (os.cpu_count() or 1)))
     stream = stream if stream is not None else sys.stderr
+    if spec.log_spill:
+        # before any worker forks: the spill root rides the environment
+        # into every run (storage-only — never part of a run key)
+        from repro.telemetry.sink import SPILL_ENV_VAR
+
+        os.environ[SPILL_ENV_VAR] = spec.log_spill
     t0 = perf_counter()  # repro: noqa[DET002] campaign wall time, excluded from run keys
     results: Dict[str, RunResult] = {}
 

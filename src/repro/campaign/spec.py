@@ -27,8 +27,13 @@ simulation engine for every run the entry expands to; it is folded into
 the resolved overrides, so the engine is part of each run's
 content-addressed key (cached results from one engine are never replayed
 as the other's).  Entries without an ``engine`` key keep the
-experiment's own default and their historical run keys.  Malformed specs
-raise :class:`SpecError`, which the CLI maps to exit code 2.
+experiment's own default and their historical run keys.  An optional
+top-level ``"log_spill": "DIR"`` key spills every run's telemetry log to
+gzip chunks under ``DIR`` (:mod:`repro.telemetry.sink`); spilling only
+relocates log storage — results are byte-identical — so it is *never*
+folded into run keys and cached results stay valid either way.
+Malformed specs raise :class:`SpecError`, which the CLI maps to exit
+code 2.
 """
 
 from __future__ import annotations
@@ -102,6 +107,9 @@ class CampaignSpec:
     name: str
     runs: List[RunSpec] = field(default_factory=list)
     code_version: Optional[str] = None
+    # optional telemetry spill root for every run (storage-only: spilling
+    # never changes results, so it is deliberately NOT part of any run key)
+    log_spill: Optional[str] = None
 
     @property
     def campaign_key(self) -> str:
@@ -129,12 +137,17 @@ class CampaignSpec:
         if not isinstance(entries, Sequence) or isinstance(entries, (str, bytes)) \
                 or not entries:
             raise SpecError("spec 'entries' must be a non-empty list")
-        unknown = set(data) - {"name", "entries"}
+        unknown = set(data) - {"name", "entries", "log_spill"}
         if unknown:
             raise SpecError(f"unknown spec keys: {sorted(unknown)}")
+        log_spill = data.get("log_spill")
+        if log_spill is not None and (
+                not isinstance(log_spill, str) or not log_spill):
+            raise SpecError("spec 'log_spill' must be a non-empty string")
         if code_version == "auto":
             code_version = _auto_code_version()
-        spec = cls(name=name, code_version=code_version)
+        spec = cls(name=name, code_version=code_version,
+                   log_spill=log_spill)
         for i, entry in enumerate(entries):
             spec.runs.extend(_expand_entry(entry, i, code_version))
         seen: Dict[str, RunSpec] = {}

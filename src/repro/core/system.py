@@ -109,6 +109,9 @@ class CoolstreamingSystem:
             if (_ctx.progress is not None
                     and _ctx.progress.live_peers_fn is None):
                 _ctx.progress.live_peers_fn = lambda: self.concurrent_users
+            if "run.live_peers" not in _ctx.gauge_providers:
+                _ctx.register_gauge_provider(
+                    "run.live_peers", lambda: self.concurrent_users)
 
         self._nodes: Dict[int, object] = {}
         # id bases keep node/session ids disjoint across co-hosted systems

@@ -13,6 +13,7 @@ Usage::
     python -m repro campaign run spec.json --jobs 4   # see repro.campaign
     python -m repro check src/                # determinism lint (repro.check)
     python -m repro profile fig3              # cProfile hot spots + Chrome trace
+    python -m repro watch m.jsonl             # live view of a metrics feed
 
 Each command runs the corresponding experiment at the default benchmark
 scale and prints the rendered tables/series.
@@ -35,6 +36,13 @@ loadable in Perfetto; ``--progress`` prints a heartbeat line to stderr.
 (:mod:`repro.sim.rng`): named streams count their draws and undeclared
 streams / out-of-owner draws surface as obs counters (strict mode
 raises).  Equivalent to setting ``REPRO_RNG_SANITIZE``.
+
+``--log-spill DIR`` makes every telemetry :class:`~repro.telemetry.server.
+LogServer` spill its log lines to gzip-compressed chunks under ``DIR``
+instead of keeping them in RAM (:mod:`repro.telemetry.sink`), bounding
+log-side memory at production volumes.  Spilling only relocates storage;
+figures and tables are byte-identical, so the flag never enters campaign
+run keys.  Equivalent to setting ``REPRO_LOG_SPILL``.
 
 Exit codes: 0 success, 1 experiment error (one-line message on stderr),
 2 usage error (unknown experiment name).
@@ -170,6 +178,11 @@ def main(argv=None) -> int:
         from repro.experiments.profile import main as profile_main
 
         return profile_main(argv[1:])
+    if argv and argv[0] == "watch":
+        # live metrics-feed viewer (own flags: --once/--interval/--timeout)
+        from repro.obs.watch import main as watch_main
+
+        return watch_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -202,6 +215,10 @@ def main(argv=None) -> int:
                         help="enable the RNG seed-discipline sanitizer "
                              "(strict raises on violations, warn records "
                              "them; equivalent to REPRO_RNG_SANITIZE)")
+    parser.add_argument("--log-spill", metavar="DIR", default=None,
+                        help="spill telemetry logs to gzip chunks under DIR "
+                             "instead of holding them in memory (equivalent "
+                             "to REPRO_LOG_SPILL; never affects results)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress rendered tables/series on stdout")
     args = parser.parse_args(argv)
@@ -211,6 +228,14 @@ def main(argv=None) -> int:
         import os
 
         os.environ["REPRO_RNG_SANITIZE"] = args.rng_sanitize
+    if args.log_spill:
+        # same environment route: sweep workers inherit the spill root;
+        # spilling only moves log storage, so it never enters a run key
+        import os
+
+        from repro.telemetry.sink import SPILL_ENV_VAR
+
+        os.environ[SPILL_ENV_VAR] = args.log_spill
 
     name = args.experiment
     if name == "list":
@@ -222,6 +247,7 @@ def main(argv=None) -> int:
         print("parity")
         print("check")
         print("profile")
+        print("watch")
         return 0
 
     if name not in EXPERIMENTS and name not in ("all", "ablations"):

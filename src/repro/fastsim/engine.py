@@ -127,6 +127,11 @@ class FastSimulation:
             if (self._obs.progress is not None
                     and self._obs.progress.live_peers_fn is None):
                 self._obs.progress.live_peers_fn = lambda: self.concurrent_users
+            if "run.live_peers" not in self._obs.gauge_providers:
+                self._obs.register_gauge_provider(
+                    "run.live_peers", lambda: self.concurrent_users)
+                self._obs.register_gauge_provider(
+                    "run.mean_continuity", self.mean_continuity)
 
         k = self.cfg.n_substreams
         n0 = max(64, int(capacity_hint))

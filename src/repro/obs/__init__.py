@@ -47,6 +47,7 @@ from repro.obs.manifest import (
 from repro.obs.metrics import (
     DEFAULT_TIME_BUCKETS_S,
     NULL_REGISTRY,
+    BatchedCounter,
     Counter,
     Gauge,
     Histogram,
@@ -63,7 +64,7 @@ __all__ = [
     "JsonlMetricsWriter", "write_prometheus",
     "RunManifest", "canonical_payload", "config_fingerprint", "git_revision",
     "manifest_path_for", "peak_rss_bytes", "stable_hash",
-    "Counter", "Gauge", "Histogram", "Timer", "MetricsRegistry",
+    "BatchedCounter", "Counter", "Gauge", "Histogram", "Timer", "MetricsRegistry",
     "NullRegistry", "NULL_REGISTRY", "DEFAULT_TIME_BUCKETS_S",
     "render_prometheus", "ProgressReporter", "TraceCollector",
     "inc", "observe", "set_gauge", "enabled",

@@ -17,10 +17,10 @@ from __future__ import annotations
 
 import sys
 from contextlib import contextmanager
-from typing import Iterator, Optional
+from typing import Callable, Dict, Iterator, Optional
 
 from repro.obs.exporters import JsonlMetricsWriter
-from repro.obs.manifest import RunManifest, manifest_path_for
+from repro.obs.manifest import RunManifest, manifest_path_for, peak_rss_bytes
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.progress import ProgressReporter
 from repro.obs.trace import TraceCollector
@@ -48,6 +48,29 @@ class ObsContext:
         self.trace = trace
         self.progress = progress
         self.manifest = manifest if manifest is not None else RunManifest()
+        # gauge providers are sampled at every snapshot beat: systems
+        # register cheap callables (live peer count, running continuity)
+        # instead of updating gauges from their hot paths
+        self.gauge_providers: Dict[str, Callable[[], float]] = {}
+
+    def register_gauge_provider(
+        self, name: str, fn: Callable[[], float]
+    ) -> None:
+        """Install (or replace) a gauge provider sampled at each beat."""
+        self.gauge_providers[name] = fn
+
+    def sample_gauge_providers(self) -> None:
+        """Pull every registered provider into its gauge, plus peak RSS."""
+        for name, fn in self.gauge_providers.items():
+            try:
+                value = float(fn())
+            except Exception:  # pragma: no cover - provider died mid-run
+                continue
+            if value == value:  # skip NaN (e.g. continuity before playback)
+                self.registry.gauge(name).set(value)
+        self.registry.gauge("run.peak_rss_mb").set(
+            peak_rss_bytes() / (1024.0 * 1024.0)
+        )
 
     # convenience pass-throughs used by instrumented call sites
     def note_config(self, cfg) -> None:
@@ -111,21 +134,25 @@ def session(
     trace = TraceCollector(max_events=trace_max_events) if trace_path else None
     registry = MetricsRegistry()
 
+    manifest = RunManifest(scenario=scenario, seed=seed)
+    ctx = ObsContext(registry=registry, trace=trace, progress=None,
+                     manifest=manifest)
+
     reporter: Optional[ProgressReporter] = None
     if progress or writer is not None:
         on_beat = None
         if writer is not None:
-            on_beat = lambda sim_t: writer.snapshot(registry, sim_t)
+            def on_beat(sim_t):
+                ctx.sample_gauge_providers()
+                writer.snapshot(registry, sim_t)
         reporter = ProgressReporter(
             interval_s=progress_interval_s,
             stream=stream if stream is not None else sys.stderr,
             print_lines=progress,
             on_beat=on_beat,
         )
+        ctx.progress = reporter
 
-    manifest = RunManifest(scenario=scenario, seed=seed)
-    ctx = ObsContext(registry=registry, trace=trace, progress=reporter,
-                     manifest=manifest)
     activate(ctx)
     try:
         yield ctx
@@ -133,6 +160,7 @@ def session(
         deactivate(ctx)
         try:
             if writer is not None:
+                ctx.sample_gauge_providers()
                 writer.snapshot(registry, None)
                 writer.close()
             if trace is not None and trace_path is not None:

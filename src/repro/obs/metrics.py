@@ -29,6 +29,7 @@ from typing import Dict, List, Sequence, Tuple
 
 __all__ = [
     "Counter",
+    "BatchedCounter",
     "Gauge",
     "Histogram",
     "Timer",
@@ -60,6 +61,47 @@ class Counter:
     def inc(self, n: int = 1) -> None:
         """Add ``n`` (default 1) to the counter."""
         self.value += n
+
+
+class BatchedCounter:
+    """Write-combining facade over a :class:`Counter` for hot loops.
+
+    Increments accumulate in :attr:`pending` (hot paths may bump the
+    attribute directly, skipping even the method call) and fold into the
+    registry-visible counter at snapshot boundaries --
+    :meth:`MetricsRegistry.snapshot` and
+    :meth:`MetricsRegistry.counter_values` flush first, so every exported
+    value is exact and ``counter_values`` output is identical to
+    unbatched counting.
+    """
+
+    __slots__ = ("counter", "pending")
+
+    kind = "counter"
+
+    def __init__(self, counter: Counter) -> None:
+        self.counter = counter
+        self.pending = 0
+
+    @property
+    def name(self) -> str:
+        """The underlying counter's name."""
+        return self.counter.name
+
+    @property
+    def value(self) -> int:
+        """Exact current count (flushed + pending)."""
+        return self.counter.value + self.pending
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (default 1) to the pending batch."""
+        self.pending += n
+
+    def flush(self) -> None:
+        """Fold the pending batch into the underlying counter."""
+        if self.pending:
+            self.counter.value += self.pending
+            self.pending = 0
 
 
 class Gauge:
@@ -180,6 +222,7 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: Dict[str, object] = {}
+        self._batched: Dict[str, BatchedCounter] = {}
 
     # --- get-or-create accessors ------------------------------------------
     def _get(self, name: str, cls, *args):
@@ -196,6 +239,25 @@ class MetricsRegistry:
     def counter(self, name: str) -> Counter:
         """Get or create a counter."""
         return self._get(name, Counter)
+
+    def batched_counter(self, name: str) -> BatchedCounter:
+        """Get or create a write-combining facade over ``counter(name)``.
+
+        The underlying counter is registered as usual; the facade is
+        shared per name, so hot loops and slow paths can mix
+        ``batched_counter(n)`` and ``counter(n)`` against one total.
+        """
+        batched = self._batched.get(name)
+        if batched is None:
+            batched = BatchedCounter(self.counter(name))
+            self._batched[name] = batched
+        return batched
+
+    def flush_batched(self) -> None:
+        """Fold every batched counter's pending increments in (called
+        automatically by :meth:`snapshot` / :meth:`counter_values`)."""
+        for batched in self._batched.values():
+            batched.flush()
 
     def gauge(self, name: str) -> Gauge:
         """Get or create a gauge."""
@@ -225,6 +287,7 @@ class MetricsRegistry:
     def counter_values(self) -> Dict[str, int]:
         """``name -> value`` for counters only -- the deterministic subset
         compared by the seed-determinism regression test."""
+        self.flush_batched()
         return {
             name: m.value for name, m in sorted(self._metrics.items())
             if isinstance(m, Counter)
@@ -236,6 +299,7 @@ class MetricsRegistry:
         Counters/gauges map to their value; histograms and timers map to
         ``{count, total, mean, buckets}``.
         """
+        self.flush_batched()
         out: Dict[str, object] = {}
         for name in sorted(self._metrics):
             m = self._metrics[name]
@@ -256,12 +320,19 @@ class MetricsRegistry:
 class _NullMetric:
     """Shared sink for every metric operation when observability is off."""
 
-    __slots__ = ()
+    __slots__ = ("pending",)
     value = 0
     count = 0
     total_s = 0.0
 
+    def __init__(self) -> None:
+        # batched-counter call sites may bump ``pending`` directly
+        self.pending = 0
+
     def inc(self, n: int = 1) -> None:
+        pass
+
+    def flush(self) -> None:
         pass
 
     def set(self, value: float) -> None:
@@ -300,6 +371,10 @@ class NullRegistry:
     gauge = counter
     histogram = counter
     timer = counter
+    batched_counter = counter
+
+    def flush_batched(self) -> None:
+        """Nothing to flush."""
 
     def __len__(self) -> int:
         return 0
@@ -335,6 +410,7 @@ def prometheus_name(name: str) -> str:
 
 def render_prometheus(registry: MetricsRegistry) -> str:
     """Render the registry in the Prometheus text exposition format."""
+    registry.flush_batched()
     lines: List[str] = []
     for metric in registry.metrics():
         name = prometheus_name(metric.name)

@@ -204,6 +204,10 @@ def run_scenario(
         workload=workload, fast=fast, capacity_hint=capacity_hint,
     )
     backend.run(until if until is not None else scenario.horizon_s)
+    # a finished run leaves its log durable: a spilled log's tail chunk
+    # rotates to disk here, so the directory is LogReader-complete even
+    # though the server stays open (mid-run snapshots may run further)
+    backend.log.flush()
     return RuntimeResult(
         scenario=scenario,
         engine=engine,

@@ -287,10 +287,85 @@ class Engine:
     def _loop_observed(self, until: Optional[float], max_events: Optional[int]) -> None:
         """Instrumented twin of :meth:`_loop`.
 
+        Two tiers share the same counters and names.  Tracing sessions run
+        the full-fidelity loop (:meth:`_loop_traced`): per-event timers,
+        trace spans, per-event heap gauges.  Metrics-only sessions run a
+        cheap loop: batched per-event counters (exact totals, flushed at
+        every snapshot boundary) plus *sampled* wall-time/heap-depth
+        instrumentation on one event in 64 -- the expensive reads
+        (``perf_counter`` pairs, ``__qualname__`` lookups) that dominated
+        the enabled-mode overhead.  Sampling is by deterministic event
+        index, so counters -- the seed-determinism subset -- stay exact.
+        Simulation behaviour (event order, clock, RNG) is bit-identical to
+        the plain loop in both tiers: instrumentation only reads.
+        """
+        ctx = self._obs
+        if ctx.trace is not None:
+            self._loop_traced(until, max_events)
+            return
+        reg = ctx.registry
+        progress = ctx.progress
+        c_exec = reg.batched_counter("engine.events_executed")
+        c_cancel = reg.batched_counter("engine.events_cancelled")
+        g_heap = reg.gauge("engine.heap_depth")
+        g_heap_max = reg.gauge("engine.heap_depth_max")
+        site_timers: dict = {}
+        fired = 0
+        heap = self._heap
+        pop = heapq.heappop
+        if until is None:
+            until = float("inf")
+        if max_events is None:
+            max_events = 0x7FFFFFFFFFFFFFFF
+        try:
+            while heap:
+                entry = heap[0]
+                ev = entry[2]
+                if ev.cancelled:
+                    pop(heap)
+                    self.events_cancelled += 1
+                    c_cancel.pending += 1
+                    continue
+                time = entry[0]
+                if time > until or fired >= max_events:
+                    break
+                pop(heap)
+                self._live -= 1
+                ev._engine = None
+                self.now = time
+                fn = ev.fn
+                if fired & 0x3F:
+                    # unsampled fast path: clock read and site lookup skipped
+                    fn()
+                else:
+                    t0 = perf_counter()  # repro: noqa[DET002] obs event-timer instrumentation only
+                    fn()
+                    dur = perf_counter() - t0  # repro: noqa[DET002] obs event-timer instrumentation only
+                    site = getattr(fn, "__qualname__", None) or type(fn).__name__
+                    timer = site_timers.get(site)
+                    if timer is None:
+                        timer = reg.timer(f"engine.callback.{site}")
+                        site_timers[site] = timer
+                    timer.observe(dur)
+                    depth = len(heap)
+                    g_heap.set(depth)
+                    g_heap_max.max(depth)
+                fired += 1
+                self.events_processed += 1
+                c_exec.pending += 1
+                if progress is not None and not (fired & 0x3FF):
+                    progress.maybe_beat(self.now, self.events_processed)
+                if self._stopped:
+                    break
+        finally:
+            # exact totals even if a callback raised mid-loop
+            reg.flush_batched()
+
+    def _loop_traced(self, until: Optional[float], max_events: Optional[int]) -> None:
+        """Full-fidelity instrumented loop for tracing sessions.
+
         Adds per-event counters, a heap-depth gauge, per-callback-site
         wall-time timers, Chrome trace spans and the progress heartbeat.
-        Simulation behaviour (event order, clock, RNG) is bit-identical to
-        the plain loop: instrumentation only reads.
         """
         ctx = self._obs
         reg = ctx.registry

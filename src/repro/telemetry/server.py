@@ -1,20 +1,27 @@
 """The dedicated log server.
 
-Stores every received log string (with its arrival timestamp) into an
-in-memory log file, exactly one line per HTTP request, and offers parsed
-views for the analysis package.  A real deployment wrote these lines to
-disk; :meth:`LogServer.dump` / :meth:`LogServer.load` replicate that so the
+Stores every received log string (with its arrival timestamp) into a log
+file -- one line per HTTP request -- and offers parsed views for the
+analysis package.  Storage is pluggable (:mod:`repro.telemetry.sink`):
+the default is the original in-memory list, or a chunked gzip spill to
+disk when a spill root is configured (``REPRO_LOG_SPILL`` /
+``--log-spill``), so production-volume traces no longer grow the
+resident set per entry.  A real deployment wrote these lines to disk;
+:meth:`LogServer.dump` / :meth:`LogServer.load` replicate that so the
 analysis toolkit can also be exercised on files.
 """
 
 from __future__ import annotations
 
+import heapq
 import io
 from dataclasses import dataclass
-from typing import Iterator, List, TextIO
+from operator import attrgetter
+from typing import Iterable, Iterator, List, Optional, TextIO
 
 from repro.telemetry.logstring import decode_log_string, encode_log_string
 from repro.telemetry.reports import Report, parse_report
+from repro.telemetry.sink import LogSink, MemorySink, default_sink
 
 __all__ = ["LogEntry", "LogServer"]
 
@@ -47,10 +54,14 @@ class LogServer:
     ``receive`` is the HTTP endpoint: it accepts the raw string and the
     (simulated) arrival time.  Malformed requests are counted and dropped,
     not raised -- a log server must survive garbage.
+
+    ``sink`` selects the storage backend; omitted, it resolves through
+    :func:`repro.telemetry.sink.default_sink` (in-memory unless a spill
+    root is configured for the process).
     """
 
-    def __init__(self) -> None:
-        self._entries: List[LogEntry] = []
+    def __init__(self, sink: Optional[LogSink] = None) -> None:
+        self.sink: LogSink = sink if sink is not None else default_sink()
         self.malformed_count = 0
 
     # --- ingestion -------------------------------------------------------
@@ -61,26 +72,40 @@ class LogServer:
         except ValueError:
             self.malformed_count += 1
             return False
-        self._entries.append(LogEntry(arrival_time, log_string))
+        self.sink.append(LogEntry(arrival_time, log_string))
         return True
 
     def receive_report(self, arrival_time: float, report: Report) -> None:
         """Convenience: encode and store a report object."""
-        self._entries.append(
+        self.sink.append(
             LogEntry(arrival_time, encode_log_string(report.to_params()))
         )
 
+    def flush(self) -> None:
+        """Persist buffered lines (rotates a spill sink's current tail to
+        disk); the server keeps accepting reports."""
+        self.sink.flush()
+
+    def close(self) -> None:
+        """Flush the sink (rotates a spill sink's tail chunk to disk)."""
+        self.sink.close()
+
     # --- access ------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self.sink)
 
     def entries(self) -> List[LogEntry]:
-        """Snapshot of stored entries."""
-        return list(self._entries)
+        """Materialised snapshot of stored entries (compat accessor --
+        prefer :meth:`iter_entries` at production volume)."""
+        return list(self.sink.iter_entries())
+
+    def iter_entries(self) -> Iterator[LogEntry]:
+        """Stream stored entries in arrival order without materialising."""
+        return iter(self.sink.iter_entries())
 
     def reports(self) -> Iterator[Report]:
         """Parse every stored entry, in arrival order."""
-        for entry in self._entries:
+        for entry in self.sink.iter_entries():
             yield entry.parse()
 
     def reports_of(self, report_type: type) -> Iterator[Report]:
@@ -93,7 +118,7 @@ class LogServer:
     def dump(self, fp: TextIO) -> int:
         """Write the log file; one entry per line.  Returns lines written."""
         n = 0
-        for entry in self._entries:
+        for entry in self.sink.iter_entries():
             fp.write(entry.to_line() + "\n")
             n += 1
         return n
@@ -105,26 +130,81 @@ class LogServer:
         return buf.getvalue()
 
     @classmethod
-    def load(cls, fp: TextIO) -> "LogServer":
-        """Rebuild a server from a dumped log file."""
-        server = cls()
+    def load(cls, fp: TextIO, *, sink: Optional[LogSink] = None) -> "LogServer":
+        """Rebuild a server from a dumped log file.
+
+        Lines pass the same validation as :meth:`receive`: truncated or
+        garbage lines are counted in ``malformed_count`` and skipped, not
+        raised -- a recovered log file must survive partial writes.
+        """
+        server = cls(sink=sink)
         for line in fp:
             line = line.strip()
-            if line:
-                server._entries.append(LogEntry.from_line(line))
+            if not line:
+                continue
+            try:
+                entry = LogEntry.from_line(line)
+                decode_log_string(entry.log_string)
+            except ValueError:
+                server.malformed_count += 1
+                continue
+            server.sink.append(entry)
         return server
 
     @classmethod
-    def loads(cls, text: str) -> "LogServer":
+    def loads(cls, text: str, *, sink: Optional[LogSink] = None) -> "LogServer":
         """Rebuild a server from dumped log-file text."""
-        return cls.load(io.StringIO(text))
+        return cls.load(io.StringIO(text), sink=sink)
 
-    def merged_with(self, other: "LogServer") -> "LogServer":
+    # --- merging ---------------------------------------------------------
+    @classmethod
+    def merged(cls, servers: Iterable["LogServer"], *,
+               sink: Optional[LogSink] = None) -> "LogServer":
+        """Streaming k-way merge of logs by arrival time.
+
+        Each input is consumed through its streaming iterator and the
+        output goes straight to the target sink, so merging spilled logs
+        is O(1) memory.  Ties keep input order (earlier server first),
+        matching what a stable sort of the concatenated lists produced.
+
+        Logs received through an engine are arrival-ordered by
+        construction; in-memory logs populated out of order (manual
+        ``receive_report`` calls) are detected and sorted first, while a
+        spilled log is assumed ordered (checking would cost a full extra
+        pass over disk).
+        """
+        servers = list(servers)
+        merged = cls(sink=sink)
+        append = merged.sink.append
+        for entry in heapq.merge(
+            *(_ordered_entries(s) for s in servers), key=_BY_ARRIVAL
+        ):
+            append(entry)
+        merged.malformed_count = sum(s.malformed_count for s in servers)
+        return merged
+
+    def merged_with(self, other: "LogServer", *,
+                    sink: Optional[LogSink] = None) -> "LogServer":
         """Union of two logs, re-sorted by arrival time (multi-server
         deployments merged their files the same way)."""
-        merged = LogServer()
-        merged._entries = sorted(
-            self._entries + other._entries, key=lambda e: e.arrival_time
-        )
-        merged.malformed_count = self.malformed_count + other.malformed_count
-        return merged
+        return LogServer.merged((self, other), sink=sink)
+
+
+_BY_ARRIVAL = attrgetter("arrival_time")
+
+
+def _ordered_entries(server: LogServer) -> Iterator[LogEntry]:
+    """Arrival-ordered entry stream for merging.
+
+    In-memory sinks are checked (O(n), no copy) and stable-sorted only
+    when actually out of order, which reproduces the pre-streaming
+    ``sorted(a + b)`` semantics exactly; other sinks stream as stored.
+    """
+    sink = server.sink
+    if isinstance(sink, MemorySink):
+        entries = sink._entries
+        if any(entries[i].arrival_time > entries[i + 1].arrival_time
+               for i in range(len(entries) - 1)):
+            return iter(sorted(entries, key=_BY_ARRIVAL))
+        return iter(entries)
+    return iter(sink.iter_entries())

@@ -127,6 +127,37 @@ class TestCampaignStatusClean:
         assert "complete" in out
         assert "4 cached objects" in out
 
+    def test_status_follow_exits_when_terminal(self, spec_file, tmp_path,
+                                               capsys):
+        store = tmp_path / "store"
+        run_cli("run", str(spec_file), "--store", str(store), "--quiet")
+        capsys.readouterr()
+        # every campaign is terminal, so --follow prints once and returns
+        assert run_cli("status", "--store", str(store), "--follow",
+                       "--interval", "0.01") == 0
+        assert "complete" in capsys.readouterr().out
+
+    def test_status_follow_rejects_bad_interval(self, tmp_path, capsys):
+        assert run_cli("status", "--store", str(tmp_path / "s"),
+                       "--follow", "--interval", "0") == 2
+        assert "--interval" in capsys.readouterr().err
+
+    def test_run_log_spill_flag_spills_run_logs(self, spec_file, tmp_path,
+                                                capsys, monkeypatch):
+        from repro.telemetry.sink import SPILL_ENV_VAR
+
+        monkeypatch.delenv(SPILL_ENV_VAR, raising=False)
+        store = tmp_path / "store"
+        spill = tmp_path / "spill"
+        assert run_cli("run", str(spec_file), "--store", str(store),
+                       "--jobs", "1", "--quiet",
+                       "--log-spill", str(spill)) == 0
+        assert "4 executed" in capsys.readouterr().out
+        # the flag reaches workers via the environment
+        import os
+        assert os.environ.get(SPILL_ENV_VAR) == str(spill)
+        monkeypatch.delenv(SPILL_ENV_VAR, raising=False)
+
     def test_clean_empties_store(self, spec_file, tmp_path, capsys):
         store = tmp_path / "store"
         run_cli("run", str(spec_file), "--store", str(store), "--quiet")

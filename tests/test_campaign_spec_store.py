@@ -212,3 +212,54 @@ class TestResultStore:
         assert status["name"] == "camp"
         assert status["total"] == 2
         assert status["counts"] == {"done": 1, "start": 1}
+
+
+class TestLogSpillSpecKey:
+    """'log_spill' is storage-only: accepted, validated, never keyed."""
+
+    def test_accepted_and_stored(self):
+        spec = CampaignSpec.from_dict(
+            {"name": "s", "log_spill": "/tmp/spill",
+             "entries": [{"experiment": "model"}]},
+            code_version=None,
+        )
+        assert spec.log_spill == "/tmp/spill"
+
+    def test_default_is_none(self):
+        spec = CampaignSpec.from_dict(
+            {"name": "s", "entries": [{"experiment": "model"}]},
+            code_version=None,
+        )
+        assert spec.log_spill is None
+
+    def test_never_part_of_run_keys(self):
+        base = {"name": "s", "entries": [{"experiment": "model",
+                                          "seeds": [0, 1]}]}
+        plain = CampaignSpec.from_dict(dict(base), code_version=None)
+        spilled = CampaignSpec.from_dict(
+            {**base, "log_spill": "/anywhere"}, code_version=None)
+        assert [r.key for r in plain.runs] == [r.key for r in spilled.runs]
+        assert plain.campaign_key == spilled.campaign_key
+
+    @pytest.mark.parametrize("bad", ["", 7, ["dir"]])
+    def test_invalid_values_rejected(self, bad):
+        with pytest.raises(SpecError, match="log_spill"):
+            CampaignSpec.from_dict(
+                {"name": "s", "log_spill": bad,
+                 "entries": [{"experiment": "model"}]},
+                code_version=None,
+            )
+
+    def test_runner_exports_spill_root(self, tmp_path, monkeypatch):
+        from repro.campaign.runner import run_campaign
+        from repro.telemetry.sink import SPILL_ENV_VAR
+
+        monkeypatch.delenv(SPILL_ENV_VAR, raising=False)
+        spec = sweep("tests.campaign_helpers:quick_experiment",
+                     seeds=[0], code_version=None)
+        spec.log_spill = str(tmp_path / "spill")
+        report = run_campaign(spec, store=None, jobs=1)
+        assert report.failed == 0
+        import os
+
+        assert os.environ[SPILL_ENV_VAR] == str(tmp_path / "spill")

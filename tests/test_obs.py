@@ -306,8 +306,24 @@ class TestEngineInstrumentation:
             assert counters["engine.events_cancelled"] == 1
             site = "TestEngineInstrumentation.test_counters_and_site_timers" \
                    ".<locals>.tick"
-            assert ctx.registry.timer(f"engine.callback.{site}").count == 10
+            # metrics-only sessions sample site timers (1 event in 64, the
+            # first always included); counters above stay exact
+            assert ctx.registry.timer(f"engine.callback.{site}").count >= 1
             assert ctx.registry.gauge("engine.heap_depth_max").value >= 1
+
+    def test_traced_session_times_every_event(self, tmp_path):
+        with obs.session(trace_path=str(tmp_path / "t.json")) as ctx:
+            eng = Engine()
+
+            def tick():
+                pass
+
+            for i in range(10):
+                eng.schedule(float(i), tick)
+            eng.run()
+            site = "TestEngineInstrumentation." \
+                   "test_traced_session_times_every_event.<locals>.tick"
+            assert ctx.registry.timer(f"engine.callback.{site}").count == 10
 
     def test_trace_spans_emitted(self, tmp_path):
         with obs.session(trace_path=str(tmp_path / "t.json")) as ctx:
@@ -359,3 +375,64 @@ class TestSessionExport:
         with obs.session(trace_path=str(trace)):
             pass
         assert (tmp_path / "t.manifest.json").exists()
+
+
+class TestBatchedCounter:
+    def test_shares_total_with_plain_accessor(self):
+        reg = obs.MetricsRegistry()
+        batched = reg.batched_counter("c")
+        batched.inc(3)
+        batched.pending += 2  # the hot-loop fast path
+        # unflushed increments are visible through the batched view...
+        assert batched.value == 5
+        # ...and counter_values flushes them into the shared counter
+        assert reg.counter_values()["c"] == 5
+        assert reg.counter("c").value == 5
+        assert batched.pending == 0
+
+    def test_same_instance_per_name(self):
+        reg = obs.MetricsRegistry()
+        assert reg.batched_counter("x") is reg.batched_counter("x")
+
+    def test_mixed_batched_and_direct_increments(self):
+        reg = obs.MetricsRegistry()
+        reg.counter("c").inc(10)
+        reg.batched_counter("c").inc(4)
+        assert reg.counter_values()["c"] == 14
+
+    def test_snapshot_and_prometheus_flush(self):
+        reg = obs.MetricsRegistry()
+        reg.batched_counter("c").inc(7)
+        assert reg.snapshot()["c"] == 7
+        reg.batched_counter("c").inc(2)
+        assert 'repro_c 9' in obs.render_prometheus(reg)
+
+    def test_null_registry_accepts_batched_calls(self):
+        null = obs.NULL_REGISTRY
+        c = null.batched_counter("anything")
+        c.inc()
+        c.pending += 5
+        c.flush()
+        null.flush_batched()
+        assert null.counter_values() == {}
+
+
+class TestGaugeProviders:
+    def test_providers_sampled_at_snapshot_beats(self, tmp_path):
+        metrics = tmp_path / "m.jsonl"
+        with obs.session(metrics_path=str(metrics)) as ctx:
+            ctx.register_gauge_provider("test.level", lambda: 17.5)
+        line = json.loads(metrics.read_text().splitlines()[-1])
+        assert line["metrics"]["test.level"] == 17.5
+        assert line["metrics"]["run.peak_rss_mb"] > 0
+
+    def test_nan_and_raising_providers_skipped(self, tmp_path):
+        metrics = tmp_path / "m.jsonl"
+        with obs.session(metrics_path=str(metrics)) as ctx:
+            ctx.register_gauge_provider("test.nan", lambda: float("nan"))
+            def boom() -> float:
+                raise RuntimeError("provider died")
+            ctx.register_gauge_provider("test.boom", boom)
+        line = json.loads(metrics.read_text().splitlines()[-1])
+        assert "test.nan" not in line["metrics"]
+        assert "test.boom" not in line["metrics"]

@@ -1,0 +1,197 @@
+"""Streaming folds: single-pass analysis equals whole-trace analysis,
+in memory and over a spilled log, bit for bit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.classification import classify_users
+from repro.analysis.continuity import (
+    continuity_by_type,
+    continuity_samples,
+    mean_continuity,
+)
+from repro.analysis.contribution import contribution_by_type, upload_totals
+from repro.analysis.funnel import join_funnel
+from repro.analysis.partners import churn_by_type, partner_events
+from repro.analysis.sessions import SessionTable
+from repro.analysis.streaming import (
+    ClassifyUsersFold,
+    ConcurrentUsersFold,
+    ContinuitySamplesFold,
+    Fold,
+    JoinFunnelFold,
+    PartnerEventsFold,
+    SessionTableFold,
+    UploadTotalsFold,
+    fold_log,
+    iter_reports,
+)
+from repro.runtime import run_scenario
+from repro.telemetry.server import LogServer
+from repro.telemetry.sink import SpillSink
+from repro.workload.scenarios import steady_audience
+
+
+@pytest.fixture(scope="module")
+def mem_log():
+    """A churny default-engine log exercising every report type."""
+    scenario = steady_audience(rate_per_s=0.3, horizon_s=400.0, n_servers=2)
+    res = run_scenario(scenario, seed=3, engine="detailed")
+    return res.system.log
+
+
+@pytest.fixture(scope="module")
+def spilled_log(mem_log, tmp_path_factory):
+    """The same log reloaded into a spill sink with many chunk rotations."""
+    root = tmp_path_factory.mktemp("spill")
+    server = LogServer.loads(
+        mem_log.dumps(), sink=SpillSink(root / "log", lines_per_chunk=50))
+    assert len(server) == len(mem_log)
+    return server
+
+
+def _table_payload(table: SessionTable):
+    """Everything a figure reads off a session table."""
+    return (
+        [(s.user_id, s.session_id, s.node_id, s.attempt, s.address_public,
+          s.join_time, s.subscription_time, s.ready_time, s.leave_time,
+          s.leave_reason)
+         for s in table.sessions()],
+        tuple(a.tolist() for a in
+              table.concurrent_users(t0=0.0, t1=400.0, step_s=30.0)),
+        table.retry_histogram(),
+    )
+
+
+class TestSpilledEqualsMemory:
+    """Every figure reconstruction is bit-identical over the spilled log."""
+
+    def test_log_not_trivial(self, mem_log):
+        # the fixture must exercise folds for real: hundreds of reports,
+        # several users, at least one departure
+        assert len(mem_log) > 200
+        table = SessionTable.from_log(mem_log)
+        assert len(table.sessions()) > 10
+        assert any(s.leave_time is not None for s in table.sessions())
+
+    def test_sessions_table(self, mem_log, spilled_log):
+        assert _table_payload(SessionTable.from_log(mem_log)) == \
+               _table_payload(SessionTable.from_log(spilled_log))
+
+    def test_classification(self, mem_log, spilled_log):
+        assert classify_users(mem_log) == classify_users(spilled_log)
+
+    def test_upload_totals_and_contribution(self, mem_log, spilled_log):
+        assert upload_totals(mem_log) == upload_totals(spilled_log)
+        assert contribution_by_type(mem_log) == \
+               contribution_by_type(spilled_log)
+
+    def test_continuity(self, mem_log, spilled_log):
+        assert continuity_samples(mem_log) == continuity_samples(spilled_log)
+        by_type_mem = continuity_by_type(mem_log)
+        by_type_spill = continuity_by_type(spilled_log)
+        assert by_type_mem.keys() == by_type_spill.keys()
+        for utype, series_mem in by_type_mem.items():
+            for arr_mem, arr_spill in zip(series_mem, by_type_spill[utype]):
+                assert np.array_equal(arr_mem, arr_spill, equal_nan=True)
+        a = mean_continuity(mem_log, after=60.0)
+        b = mean_continuity(spilled_log, after=60.0)
+        assert (a == b) or (np.isnan(a) and np.isnan(b))
+
+    def test_partner_events_and_churn(self, mem_log, spilled_log):
+        assert partner_events(mem_log) == partner_events(spilled_log)
+        assert churn_by_type(mem_log) == churn_by_type(spilled_log)
+
+    def test_join_funnel(self, mem_log, spilled_log):
+        assert join_funnel(mem_log) == join_funnel(spilled_log)
+
+
+class TestSinglePassEqualsWholeTrace:
+    """fold_log over N folds equals N independent whole-trace passes."""
+
+    def test_multi_fold_single_pass(self, mem_log):
+        types, totals, samples, events = fold_log(
+            mem_log, ClassifyUsersFold(), UploadTotalsFold(),
+            ContinuitySamplesFold(), PartnerEventsFold())
+        assert types == classify_users(mem_log)
+        assert totals == upload_totals(mem_log)
+        assert samples == continuity_samples(mem_log)
+        assert events == partner_events(mem_log)
+
+    def test_wrapped_folds(self, mem_log):
+        (grid, counts), funnel = fold_log(
+            mem_log,
+            ConcurrentUsersFold(t0=0.0, t1=400.0, step_s=30.0),
+            JoinFunnelFold())
+        ref_grid, ref_counts = SessionTable.from_log(
+            mem_log).concurrent_users(t0=0.0, t1=400.0, step_s=30.0)
+        assert np.array_equal(grid, ref_grid)
+        assert np.array_equal(counts, ref_counts)
+        assert funnel == join_funnel(mem_log)
+
+    def test_session_fold_alone(self, mem_log):
+        (table,) = fold_log(mem_log, SessionTableFold())
+        assert _table_payload(table) == \
+               _table_payload(SessionTable.from_log(mem_log))
+
+
+class TestFigurePayloadsUnderSpill:
+    """End-to-end: a figure regenerated with a spill root configured
+    renders byte-identically to the in-memory run -- spilling relocates
+    log storage only, on each figure's default engine."""
+
+    @pytest.mark.parametrize("name,kwargs", [
+        ("fig3", dict(seed=1, rate_per_s=0.4, horizon_s=240.0)),
+        ("fig5", dict(seed=1, day_seconds=1800.0, peak_rate=0.5,
+                      n_servers=2)),
+    ])
+    def test_figure_render_identical(self, tmp_path, name, kwargs):
+        from repro.experiments.figures import (
+            fig3_user_types_and_contribution,
+            fig5_user_evolution,
+        )
+        from repro.telemetry import sink as sink_mod
+
+        fn = {"fig3": fig3_user_types_and_contribution,
+              "fig5": fig5_user_evolution}[name]
+        ref = fn(**kwargs)
+        root = tmp_path / "spill"
+        sink_mod.set_spill_root(root)
+        try:
+            spilled = fn(**kwargs)
+        finally:
+            sink_mod.set_spill_root(None)
+        assert spilled.render() == ref.render()
+        assert any(root.iterdir()), "spill root was configured but unused"
+
+
+class TestFoldProtocol:
+    def test_no_folds_rejected(self, mem_log):
+        with pytest.raises(ValueError, match="at least one fold"):
+            fold_log(mem_log)
+
+    def test_base_class_is_abstract(self):
+        fold = Fold()
+        with pytest.raises(NotImplementedError):
+            fold.update(None)
+        with pytest.raises(NotImplementedError):
+            fold.result()
+
+    def test_iter_reports_accepts_plain_iterables(self, mem_log):
+        reports = list(mem_log.reports())
+        (totals,) = fold_log(reports, UploadTotalsFold())
+        assert totals == upload_totals(mem_log)
+        assert list(iter_reports(reports)) == reports
+
+    def test_iter_reports_accepts_entry_sources(self, mem_log):
+        class EntriesOnly:
+            def __init__(self, server):
+                self._server = server
+
+            def iter_entries(self):
+                return self._server.iter_entries()
+
+        (totals,) = fold_log(EntriesOnly(mem_log), UploadTotalsFold())
+        assert totals == upload_totals(mem_log)
