@@ -17,8 +17,9 @@ follows the PR-1 conventions: ``--metrics-out`` streams heartbeat
 snapshots (runs completed/cached/failed gauges) as JSONL with a manifest
 sidecar, ``--progress`` prints campaign heartbeat lines to stderr.
 
-Exit codes: 0 success, 1 any failed run, 2 bad spec / unknown
-experiment, 130 interrupted.
+Exit codes: 0 success, 1 any failed run or backend-startup failure,
+2 bad spec / unknown experiment, 130 interrupted (shared convention
+with ``python -m repro`` and ``python -m repro parity``).
 """
 
 from __future__ import annotations
@@ -33,6 +34,7 @@ from repro.campaign.runner import run_campaign
 from repro.campaign.spec import CampaignSpec, SpecError
 from repro.campaign.store import DEFAULT_STORE_DIR, ResultStore
 from repro.experiments.render import render_table
+from repro.runtime.backends import BackendStartupError
 
 __all__ = ["main"]
 
@@ -138,6 +140,9 @@ def _cmd_run(args) -> int:
     except SpecError as exc:  # unknown experiment surfaces pre-execution
         print(f"error: bad spec: {exc}", file=sys.stderr)
         return 2
+    except BackendStartupError as exc:
+        print(f"error: backend startup: {exc}", file=sys.stderr)
+        return 1
 
     if args.out:
         write_metrics_json(report, args.out)

@@ -22,7 +22,8 @@ Spec files are JSON::
 
 ``grid`` maps parameter names to value lists (cartesian product);
 ``overrides`` holds fixed keyword arguments.  ``seeds`` defaults to
-``[0]``.  An optional ``"engine": "detailed"|"fast"`` entry key pins the
+``[0]``.  An optional ``"engine"`` entry key (any registered engine:
+``detailed``, ``fast``, ``net``, ...) pins the
 simulation engine for every run the entry expands to; it is folded into
 the resolved overrides, so the engine is part of each run's
 content-addressed key (cached results from one engine are never replayed
@@ -252,9 +253,12 @@ def _expand_entry(
         raise SpecError(f"{where}.overrides must be an object")
     engine = entry.get("engine")
     if engine is not None:
-        if engine not in ("detailed", "fast"):
+        from repro.runtime.backends import available_engines
+
+        if engine not in available_engines():
             raise SpecError(
-                f"{where}.engine must be 'detailed' or 'fast', "
+                f"{where}.engine must be one of "
+                f"{', '.join(repr(e) for e in available_engines())}, "
                 f"got {engine!r}"
             )
         if "engine" in overrides:

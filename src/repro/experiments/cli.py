@@ -18,10 +18,14 @@ Usage::
 Each command runs the corresponding experiment at the default benchmark
 scale and prints the rendered tables/series.
 
-``--engine {detailed,fast}`` overrides the engine an experiment runs on
-(each has a sensible default: protocol figures use the event-driven
-engine, population-scale figures the fluid one).  Experiments that are
-engine-specific (table1, model, convergence) ignore the flag.
+``--engine NAME`` overrides the engine an experiment runs on; the
+choices come from the backend registry
+(:func:`repro.runtime.backends.available_engines`: the event-driven
+``detailed`` engine, the fluid ``fast`` engine, and the localhost-socket
+``net`` deployment).  Each experiment has a sensible default: protocol
+figures use the event-driven engine, population-scale figures the fluid
+one.  Experiments that are engine-specific (table1, model, convergence)
+ignore the flag.
 
 Observability (any subcommand)::
 
@@ -44,8 +48,9 @@ log-side memory at production volumes.  Spilling only relocates storage;
 figures and tables are byte-identical, so the flag never enters campaign
 run keys.  Equivalent to setting ``REPRO_LOG_SPILL``.
 
-Exit codes: 0 success, 1 experiment error (one-line message on stderr),
-2 usage error (unknown experiment name).
+Exit codes: 0 success, 1 experiment or backend-startup error (one-line
+message on stderr), 2 usage error (unknown experiment name), 130
+interrupted.  ``run``/``parity``/``campaign run`` share this convention.
 """
 
 from __future__ import annotations
@@ -79,6 +84,7 @@ from repro.experiments.ablations import (
     ablate_parent_choice,
     ablate_substreams,
 )
+from repro.runtime.backends import BackendStartupError, available_engines
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -198,7 +204,7 @@ def main(argv=None) -> int:
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for sweep experiments "
                              "(fig9; default 1 = in-process)")
-    parser.add_argument("--engine", choices=("detailed", "fast"),
+    parser.add_argument("--engine", choices=available_engines(),
                         default=None,
                         help="override the simulation engine (default: "
                              "each experiment's documented default)")
@@ -275,6 +281,9 @@ def main(argv=None) -> int:
     except KeyboardInterrupt:
         print("error: interrupted", file=sys.stderr)
         return 130
+    except BackendStartupError as exc:
+        print(f"error: backend startup: {exc}", file=sys.stderr)
+        return 1
     except Exception as exc:
         print(f"error: {name}: {type(exc).__name__}: {exc}", file=sys.stderr)
         return 1

@@ -1,0 +1,37 @@
+"""repro.net -- the real-network Coolstreaming backend (localhost sockets).
+
+Every other backend in this repo is a simulator.  This package runs the
+*actual* protocol -- mCache gossip, partnership establishment, buffer-map
+exchange, push/pull block scheduling -- over real TCP connections on
+localhost, in the coordinator/peer style ROADMAP item 3 calls for:
+
+* a **coordinator** (:mod:`repro.net.coordinator`): one asyncio server
+  handling channel registration, mCache seeding for joiners, telemetry
+  log collection, and block injection from the source schedule (it embeds
+  the stream origin);
+* **peer tasks** (:mod:`repro.net.peer`): each peer owns a listening
+  socket and a set of framed connections, and exchanges length-prefixed,
+  versioned wire messages (:mod:`repro.net.codec`) with its partners;
+* a **wall-clock -> virtual-time mapping** (:mod:`repro.net.clock`): the
+  protocol runs against virtual seconds derived from the host clock, so
+  workload arrival/departure schedules replay faithfully and a 900 s
+  scenario finishes in tens of wall seconds.
+
+Fidelity comes from reuse, not reimplementation: :class:`~repro.net.peer.
+NetPeer` subclasses the reference :class:`~repro.core.node.PeerNode` and
+overrides only the transport (the RPC fabric becomes socket frames), so
+offset choice, adaptation Inequalities (1)/(2), patience, the stall
+watchdog and the water-filled upload scheduler are byte-for-byte the
+``core/`` objects.  Peers report through the standard
+:class:`~repro.telemetry.reporter.NodeReporter`, shipping the same log
+strings over LOG frames, so every analysis fold, figure reconstruction
+and ``python -m repro watch`` view works unchanged on real runs.
+
+Entry point: :class:`repro.net.backend.NetBackend`, registered with the
+runtime as engine ``"net"`` (``run_scenario(..., engine="net")``,
+``--engine net``, ``python -m repro parity --engines detailed,net``).
+"""
+
+from repro.net.config import NetConfig
+
+__all__ = ["NetConfig"]

@@ -1,0 +1,226 @@
+"""The wire format: length-prefixed, versioned frames over TCP.
+
+One frame is::
+
+    +----------+---------+------+---------------------+
+    | length   | version | type | JSON body (UTF-8)   |
+    | uint32BE | uint8   | uint8| `length - 2` bytes  |
+    +----------+---------+------+---------------------+
+
+``length`` covers everything after itself (version + type + body), so a
+reader needs exactly two reads per frame.  The body is JSON: at ≤ 16
+peers per deployment and a 2 s control cadence the codec is nowhere near
+hot, and a self-describing body keeps the protocol debuggable with
+``tcpdump``.  Compactness comes from what we *don't* send -- block
+deliveries are interval descriptors, never payload bytes (bandwidth
+stays modeled, exactly like the simulators).
+
+Every decode path is defensive: bad version, unknown type, oversized
+frames, truncated buffers and garbage JSON all raise :class:`CodecError`
+(the transport kills the offending connection; the deployment survives).
+
+The message vocabulary maps 1:1 onto the reference node's RPC surface
+(:class:`~repro.core.node.PeerNode`'s ``rpc_*`` methods) plus the
+coordinator's registration/telemetry endpoints, which is what lets the
+net peer reuse the simulator's protocol logic unchanged.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import struct
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.core.buffer import BufferMap
+from repro.core.membership import MCacheEntry
+from repro.core.pull import PullRequest
+from repro.network.connectivity import ConnectivityClass
+
+__all__ = [
+    "WIRE_VERSION",
+    "MsgType",
+    "CodecError",
+    "encode_frame",
+    "FrameDecoder",
+    "encode_entry",
+    "decode_entry",
+    "encode_bm",
+    "decode_bm",
+    "encode_pull_requests",
+    "decode_pull_requests",
+]
+
+#: protocol version byte; receivers reject anything else
+WIRE_VERSION = 1
+
+_HEADER = struct.Struct("!I")
+_VERSION_TYPE = struct.Struct("!BB")
+
+
+class CodecError(ValueError):
+    """A frame or body that cannot be decoded (truncated, oversized,
+    wrong version, unknown type, malformed JSON/fields)."""
+
+
+class MsgType(enum.IntEnum):
+    """Wire message types."""
+
+    # connection bring-up (both directions)
+    HELLO = 1             # {node_id, host, port}: identifies the dialler
+    # coordinator control plane
+    REGISTER = 10         # {entry, host, port, server}: join the channel
+    REGISTER_OK = 11      # {entries}: mCache seed list
+    PEERS_REQUEST = 12    # {}: re-request a peer list (exhausted view)
+    PEERS_REPLY = 13      # {entries}
+    UNREGISTER = 14       # {node_id}: graceful departure
+    LOG_REPORT = 15       # {t, line}: one telemetry log string
+    # peer <-> peer protocol (mirrors PeerNode's rpc_* surface)
+    GOSSIP = 20           # {entries}: membership gossip payload
+    PARTNER_REQUEST = 21  # {entry}: ask to become partners
+    PARTNER_REPLY = 22    # {accept, bm?, entry?}
+    PARTNER_CLOSE = 23    # {}: graceful teardown
+    BM_UPDATE = 24        # {bm}: buffer-map announcement
+    SUBSCRIBE = 25        # {substream, from_index}: push-mode subscription
+    UNSUBSCRIBE = 26      # {substream}
+    PULL_REQUEST = 27     # {requests: [[substream, first, last], ...]}
+    BLOCKS = 28           # {substream, first, last}: block delivery
+
+
+def encode_frame(msg_type: MsgType, payload: Dict[str, Any], *,
+                 max_frame_bytes: int = 1 << 20) -> bytes:
+    """Serialize one message into a wire frame."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    length = _VERSION_TYPE.size + len(body)
+    if length > max_frame_bytes:
+        raise CodecError(
+            f"frame of {length} bytes exceeds limit {max_frame_bytes}")
+    return (_HEADER.pack(length)
+            + _VERSION_TYPE.pack(WIRE_VERSION, int(msg_type))
+            + body)
+
+
+class FrameDecoder:
+    """Incremental frame parser: feed bytes, iterate complete messages.
+
+    The decoder is transport-agnostic (tests drive it with byte slices of
+    any granularity); the asyncio reader feeds it whatever ``read()``
+    returns.  A malformed frame raises :class:`CodecError` and poisons
+    the decoder -- the connection it came from is dead anyway.
+    """
+
+    def __init__(self, *, max_frame_bytes: int = 1 << 20) -> None:
+        self._buf = bytearray()
+        self._max = int(max_frame_bytes)
+
+    def feed(self, data: bytes) -> Iterator[Tuple[MsgType, Dict[str, Any]]]:
+        """Consume bytes; yield every complete ``(type, payload)``."""
+        self._buf.extend(data)
+        while True:
+            msg = self._next()
+            if msg is None:
+                return
+            yield msg
+
+    def _next(self) -> Optional[Tuple[MsgType, Dict[str, Any]]]:
+        buf = self._buf
+        if len(buf) < _HEADER.size:
+            return None
+        (length,) = _HEADER.unpack_from(buf)
+        if length > self._max:
+            raise CodecError(
+                f"declared frame length {length} exceeds limit {self._max}")
+        if length < _VERSION_TYPE.size:
+            raise CodecError(f"declared frame length {length} too short")
+        end = _HEADER.size + length
+        if len(buf) < end:
+            return None
+        version, raw_type = _VERSION_TYPE.unpack_from(buf, _HEADER.size)
+        body = bytes(buf[_HEADER.size + _VERSION_TYPE.size:end])
+        del buf[:end]
+        if version != WIRE_VERSION:
+            raise CodecError(f"unsupported wire version {version}")
+        try:
+            msg_type = MsgType(raw_type)
+        except ValueError as exc:
+            raise CodecError(f"unknown message type {raw_type}") from exc
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CodecError(f"malformed frame body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise CodecError("frame body must be a JSON object")
+        return msg_type, payload
+
+
+# ---------------------------------------------------------------------------
+# field codecs: the protocol objects that cross the wire
+# ---------------------------------------------------------------------------
+def encode_entry(entry: MCacheEntry,
+                 address: Optional[Tuple[str, int]] = None) -> Dict[str, Any]:
+    """An mCache entry (plus, when known, the node's listen address)."""
+    out: Dict[str, Any] = {
+        "node_id": entry.node_id,
+        "connectivity": int(entry.connectivity),
+        "joined_at": entry.joined_at,
+        "last_seen": entry.last_seen,
+    }
+    if address is not None:
+        out["host"], out["port"] = address[0], int(address[1])
+    return out
+
+
+def decode_entry(obj: Any) -> Tuple[MCacheEntry, Optional[Tuple[str, int]]]:
+    """Parse an entry object; returns ``(entry, address_or_None)``."""
+    if not isinstance(obj, dict):
+        raise CodecError("entry must be an object")
+    try:
+        entry = MCacheEntry(
+            node_id=int(obj["node_id"]),
+            connectivity=ConnectivityClass(int(obj["connectivity"])),
+            joined_at=float(obj["joined_at"]),
+            last_seen=float(obj["last_seen"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CodecError(f"malformed entry: {exc}") from exc
+    address: Optional[Tuple[str, int]] = None
+    if "host" in obj:
+        try:
+            address = (str(obj["host"]), int(obj["port"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CodecError(f"malformed entry address: {exc}") from exc
+    return entry, address
+
+
+def encode_bm(bm: BufferMap) -> List[int]:
+    """The flat 2K-tuple wire representation of a buffer map."""
+    return list(bm.as_tuple())
+
+
+def decode_bm(obj: Any) -> BufferMap:
+    """Parse a buffer map; wire maps go through the validating path."""
+    if not isinstance(obj, list):
+        raise CodecError("buffer map must be a list")
+    try:
+        return BufferMap.from_tuple([int(v) for v in obj])
+    except (TypeError, ValueError) as exc:
+        raise CodecError(f"malformed buffer map: {exc}") from exc
+
+
+def encode_pull_requests(requests: List[PullRequest]) -> List[List[int]]:
+    """Pull-mode request batch as ``[[substream, first, last], ...]``."""
+    return [[r.substream, r.first, r.last] for r in requests]
+
+
+def decode_pull_requests(obj: Any) -> List[PullRequest]:
+    """Parse a pull request batch (validated by ``PullRequest``)."""
+    if not isinstance(obj, list):
+        raise CodecError("pull requests must be a list")
+    out: List[PullRequest] = []
+    for item in obj:
+        try:
+            sub, first, last = (int(v) for v in item)
+            out.append(PullRequest(substream=sub, first=first, last=last))
+        except (TypeError, ValueError) as exc:
+            raise CodecError(f"malformed pull request {item!r}: {exc}") from exc
+    return out

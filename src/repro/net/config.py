@@ -1,0 +1,82 @@
+"""Deployment knobs for the real-network backend.
+
+Everything here is about the *transport* (addresses, timeouts, framing,
+pacing); protocol parameters stay in :class:`repro.core.config.
+SystemConfig` so a net run and a simulated run of the same scenario share
+one protocol configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["NetConfig"]
+
+
+@dataclass(frozen=True)
+class NetConfig:
+    """Transport configuration for one :class:`~repro.net.backend.NetBackend`.
+
+    Attributes
+    ----------
+    host:
+        Interface everything binds to.  Localhost by default; the wire
+        protocol itself is address-agnostic.
+    port:
+        Coordinator listen port.  ``0`` (default) binds an ephemeral port,
+        which is what CI wants -- parallel jobs can never collide.  A
+        fixed port that is already in use surfaces as
+        :class:`~repro.runtime.backends.BackendStartupError`.
+    time_scale:
+        Virtual seconds per wall second.  The protocol's periods (2 s
+        control tick, 1 s delivery quantum, 300 s status cadence) run in
+        virtual time, so ``time_scale=20`` finishes a 600 s scenario in
+        ~30 s of wall time.  Raising it trades wall time for timer
+        precision (the pump quantum below is a virtual-time error bound).
+    pump_wall_s:
+        Wall-clock period of the engine pump: how often due virtual
+        timers are fired while the run sleeps between I/O events.
+    connect_timeout_s, connect_retries, connect_backoff_s:
+        Wall-clock connect policy for peer-to-peer and peer-to-coordinator
+        connections: each attempt gets ``connect_timeout_s``; failures
+        retry up to ``connect_retries`` times with exponential backoff
+        starting at ``connect_backoff_s``.
+    max_frame_bytes:
+        Upper bound on one wire frame; oversized frames are a codec error
+        (and, on a live connection, kill that connection, not the run).
+    drain_wall_s:
+        Quiescence window observed at the end of a run so in-flight LOG
+        frames reach the coordinator before the log is read.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    time_scale: float = 20.0
+    pump_wall_s: float = 0.02
+    connect_timeout_s: float = 5.0
+    connect_retries: int = 3
+    connect_backoff_s: float = 0.2
+    max_frame_bytes: int = 1 << 20
+    drain_wall_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.port <= 65535:
+            raise ValueError("port must be in [0, 65535]")
+        if self.time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        if self.pump_wall_s <= 0:
+            raise ValueError("pump_wall_s must be positive")
+        if self.connect_timeout_s <= 0:
+            raise ValueError("connect_timeout_s must be positive")
+        if self.connect_retries < 0:
+            raise ValueError("connect_retries must be >= 0")
+        if self.connect_backoff_s < 0:
+            raise ValueError("connect_backoff_s must be >= 0")
+        if self.max_frame_bytes < 64:
+            raise ValueError("max_frame_bytes must be >= 64")
+        if self.drain_wall_s <= 0:
+            raise ValueError("drain_wall_s must be positive")
+
+    def with_overrides(self, **kwargs) -> "NetConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **kwargs)

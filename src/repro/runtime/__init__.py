@@ -18,9 +18,13 @@ Every figure, ablation and campaign run routes through this package;
 
 from repro.runtime.backends import (
     ENGINES,
+    BackendStartupError,
     DetailedBackend,
     FluidBackend,
     StreamingBackend,
+    available_engines,
+    register_backend,
+    resolve_backend,
 )
 from repro.runtime.driver import (
     RuntimeResult,
@@ -31,14 +35,20 @@ from repro.runtime.driver import (
 )
 from repro.runtime.parity import (
     DEFAULT_TOLERANCES,
+    PAIR_TOLERANCES,
     MetricComparison,
     ParityReport,
     paper_metrics,
     run_parity,
+    run_parity_suite,
 )
 
 __all__ = [
     "ENGINES",
+    "BackendStartupError",
+    "register_backend",
+    "available_engines",
+    "resolve_backend",
     "StreamingBackend",
     "DetailedBackend",
     "FluidBackend",
@@ -48,8 +58,10 @@ __all__ = [
     "build_backend",
     "run_scenario",
     "DEFAULT_TOLERANCES",
+    "PAIR_TOLERANCES",
     "MetricComparison",
     "ParityReport",
     "paper_metrics",
     "run_parity",
+    "run_parity_suite",
 ]

@@ -40,7 +40,23 @@ from repro.telemetry.server import LogServer
 from repro.workload.sessions import ProgramSchedule
 from repro.workload.users import UserPopulation
 
-__all__ = ["StreamingBackend", "DetailedBackend", "FluidBackend", "ENGINES"]
+__all__ = [
+    "StreamingBackend",
+    "DetailedBackend",
+    "FluidBackend",
+    "ENGINES",
+    "BackendStartupError",
+    "register_backend",
+    "available_engines",
+    "resolve_backend",
+]
+
+
+class BackendStartupError(RuntimeError):
+    """A backend could not bring its runtime up (listen port already in
+    use, coordinator unreachable, ...).  Distinct from a *failed run* so
+    CLIs can report it uniformly: startup failures exit 1 with a clean
+    one-line message instead of a traceback."""
 
 
 @runtime_checkable
@@ -245,8 +261,67 @@ class FluidBackend:
         return ok / len(by_user)
 
 
-#: engine name -> backend class (the CLI's --engine choices)
+#: legacy engine name -> backend class mapping for the two simulators.
+#: Kept stable for existing imports; the *registry* below is the source
+#: of truth (it also knows engines with heavier import footprints, like
+#: the socket backend, which register lazily).
 ENGINES = {
     DetailedBackend.name: DetailedBackend,
     FluidBackend.name: FluidBackend,
 }
+
+
+# ---------------------------------------------------------------------------
+# backend registry
+# ---------------------------------------------------------------------------
+#: engine name -> backend factory, or a lazy ``"module:attr"`` spec that
+#: is resolved (and cached) on first use so registering an engine does
+#: not import its implementation
+_REGISTRY: Dict[str, object] = {}
+
+
+def register_backend(name: str, factory) -> None:
+    """Register an engine under ``name``.
+
+    ``factory`` is the backend class (or any callable with the
+    ``(scenario, seed)`` constructor shape), or a ``"module:attr"``
+    string resolved lazily on first :func:`resolve_backend`.  The CLI's
+    ``--engine`` choices, campaign spec validation and the parity
+    harness all derive from this registry, so a new engine plugs in
+    without editing call sites.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError("engine name must be a non-empty string")
+    _REGISTRY[name] = factory
+
+
+def available_engines() -> Tuple[str, ...]:
+    """Registered engine names, sorted (the canonical --engine choices)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def resolve_backend(name: str):
+    """The backend factory for ``name`` (imports lazy specs on demand).
+
+    Raises ``ValueError`` for unknown names -- callers surface that as a
+    usage error (exit 2)."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {name!r}; choose from {sorted(_REGISTRY)}"
+        ) from None
+    if isinstance(factory, str):
+        module_name, _, attr = factory.partition(":")
+        import importlib
+
+        factory = getattr(importlib.import_module(module_name), attr)
+        _REGISTRY[name] = factory
+    return factory
+
+
+register_backend(DetailedBackend.name, DetailedBackend)
+register_backend(FluidBackend.name, FluidBackend)
+# the socket backend registers lazily: its asyncio stack (and everything
+# under repro.net) only loads when an actual net run is requested
+register_backend("net", "repro.net.backend:NetBackend")

@@ -31,10 +31,9 @@ import numpy as np
 
 from repro.fastsim import FastSimConfig
 from repro.runtime.backends import (
-    ENGINES,
-    DetailedBackend,
     FluidBackend,
     StreamingBackend,
+    resolve_backend,
 )
 from repro.sim.rng import RngHub
 from repro.telemetry.server import LogServer
@@ -161,10 +160,7 @@ def build_backend(
     Fig. 4 overlay series) call :meth:`StreamingBackend.run` with an
     increasing ``until``.
     """
-    if engine not in ENGINES:
-        raise ValueError(
-            f"unknown engine {engine!r}; choose from {sorted(ENGINES)}"
-        )
+    factory = resolve_backend(engine)  # ValueError on unknown engines
     if workload is None:
         workload = sample_workload(scenario, seed)
     if engine == FluidBackend.name:
@@ -176,7 +172,8 @@ def build_backend(
                            else _default_capacity_hint(workload.n_users)),
         )
     else:
-        backend = DetailedBackend(scenario, seed)
+        # every other engine shares the (scenario, seed) constructor shape
+        backend = factory(scenario, seed)
     backend.apply_workload(workload.times, workload.durations)
     for time_s, prob in workload.endings:
         backend.add_program_ending(time_s, prob)

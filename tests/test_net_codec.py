@@ -1,0 +1,193 @@
+"""The net wire format: frame round-trips and hostile-input rejection.
+
+The decoder guards a real socket, so the failure cases matter as much as
+the happy path: truncated buffers must wait for more bytes (not error),
+while structurally bad frames -- wrong version, unknown type, oversized,
+garbage JSON -- must raise :class:`CodecError` so the transport can kill
+the connection.
+"""
+
+import json
+import struct
+
+import pytest
+
+from repro.core.buffer import BufferMap
+from repro.core.membership import MCacheEntry
+from repro.core.pull import PullRequest
+from repro.net.codec import (
+    WIRE_VERSION,
+    CodecError,
+    FrameDecoder,
+    MsgType,
+    decode_bm,
+    decode_entry,
+    decode_pull_requests,
+    encode_bm,
+    encode_entry,
+    encode_frame,
+    encode_pull_requests,
+)
+from repro.network.connectivity import ConnectivityClass
+
+
+def roundtrip(msg_type, payload, **decoder_kw):
+    decoder = FrameDecoder(**decoder_kw)
+    out = list(decoder.feed(encode_frame(msg_type, payload)))
+    assert len(out) == 1
+    return out[0]
+
+
+class TestFrameRoundTrip:
+    def test_simple_frame(self):
+        got_type, got = roundtrip(MsgType.HELLO,
+                                  {"node_id": 7, "host": "127.0.0.1",
+                                   "port": 4242})
+        assert got_type is MsgType.HELLO
+        assert got == {"node_id": 7, "host": "127.0.0.1", "port": 4242}
+
+    def test_every_message_type_round_trips(self):
+        for msg_type in MsgType:
+            got_type, got = roundtrip(msg_type, {"x": int(msg_type)})
+            assert got_type is msg_type
+            assert got == {"x": int(msg_type)}
+
+    def test_multiple_frames_in_one_feed(self):
+        data = (encode_frame(MsgType.GOSSIP, {"n": 1})
+                + encode_frame(MsgType.BM_UPDATE, {"n": 2}))
+        decoder = FrameDecoder()
+        out = list(decoder.feed(data))
+        assert [t for t, _ in out] == [MsgType.GOSSIP, MsgType.BM_UPDATE]
+        assert [p["n"] for _, p in out] == [1, 2]
+
+    def test_byte_at_a_time_reassembly(self):
+        data = encode_frame(MsgType.BLOCKS,
+                            {"substream": 1, "first": 10, "last": 12})
+        decoder = FrameDecoder()
+        out = []
+        for i in range(len(data)):
+            out.extend(decoder.feed(data[i:i + 1]))
+        assert len(out) == 1
+        assert out[0][1]["last"] == 12
+
+    def test_unicode_payload(self):
+        _, got = roundtrip(MsgType.LOG_REPORT, {"line": "café ⊕ 日本"})
+        assert got["line"] == "café ⊕ 日本"
+
+
+class TestTruncatedFrames:
+    def test_partial_header_yields_nothing(self):
+        decoder = FrameDecoder()
+        assert list(decoder.feed(b"\x00\x00")) == []
+
+    def test_partial_body_yields_nothing_then_completes(self):
+        data = encode_frame(MsgType.PEERS_REQUEST, {})
+        decoder = FrameDecoder()
+        assert list(decoder.feed(data[:-3])) == []
+        out = list(decoder.feed(data[-3:]))
+        assert out == [(MsgType.PEERS_REQUEST, {})]
+
+    def test_empty_feed_is_harmless(self):
+        decoder = FrameDecoder()
+        assert list(decoder.feed(b"")) == []
+
+
+class TestGarbageRejection:
+    def test_wrong_version(self):
+        body = json.dumps({}).encode()
+        frame = (struct.pack("!I", 2 + len(body))
+                 + struct.pack("!BB", WIRE_VERSION + 1, int(MsgType.HELLO))
+                 + body)
+        with pytest.raises(CodecError, match="version"):
+            list(FrameDecoder().feed(frame))
+
+    def test_unknown_message_type(self):
+        body = json.dumps({}).encode()
+        frame = (struct.pack("!I", 2 + len(body))
+                 + struct.pack("!BB", WIRE_VERSION, 250)
+                 + body)
+        with pytest.raises(CodecError, match="unknown message type"):
+            list(FrameDecoder().feed(frame))
+
+    def test_garbage_json_body(self):
+        body = b"{not json!"
+        frame = (struct.pack("!I", 2 + len(body))
+                 + struct.pack("!BB", WIRE_VERSION, int(MsgType.HELLO))
+                 + body)
+        with pytest.raises(CodecError, match="malformed frame body"):
+            list(FrameDecoder().feed(frame))
+
+    def test_non_object_body(self):
+        body = b"[1,2,3]"
+        frame = (struct.pack("!I", 2 + len(body))
+                 + struct.pack("!BB", WIRE_VERSION, int(MsgType.HELLO))
+                 + body)
+        with pytest.raises(CodecError, match="JSON object"):
+            list(FrameDecoder().feed(frame))
+
+    def test_oversized_declared_length(self):
+        frame = struct.pack("!I", 1 << 21)
+        with pytest.raises(CodecError, match="exceeds limit"):
+            list(FrameDecoder(max_frame_bytes=1 << 20).feed(frame))
+
+    def test_undersized_declared_length(self):
+        frame = struct.pack("!I", 1) + b"\x01"
+        with pytest.raises(CodecError, match="too short"):
+            list(FrameDecoder().feed(frame))
+
+    def test_encode_respects_frame_limit(self):
+        with pytest.raises(CodecError, match="exceeds limit"):
+            encode_frame(MsgType.GOSSIP, {"blob": "x" * 4096},
+                         max_frame_bytes=256)
+
+
+class TestFieldCodecs:
+    def entry(self):
+        return MCacheEntry(node_id=42,
+                           connectivity=ConnectivityClass.DIRECT,
+                           joined_at=12.5, last_seen=60.0)
+
+    def test_entry_round_trip_with_address(self):
+        obj = encode_entry(self.entry(), ("127.0.0.1", 9999))
+        entry, address = decode_entry(obj)
+        assert entry == self.entry()
+        assert address == ("127.0.0.1", 9999)
+
+    def test_entry_round_trip_without_address(self):
+        entry, address = decode_entry(encode_entry(self.entry()))
+        assert entry == self.entry()
+        assert address is None
+
+    def test_entry_rejects_malformed(self):
+        with pytest.raises(CodecError):
+            decode_entry("nope")
+        with pytest.raises(CodecError):
+            decode_entry({"node_id": 1})  # missing fields
+        with pytest.raises(CodecError):
+            decode_entry({"node_id": 1, "connectivity": 999,
+                          "joined_at": 0.0, "last_seen": 0.0})
+
+    def test_bm_round_trip(self):
+        bm = BufferMap(heads=(5, -1, 9), subscriptions=(True, False, True))
+        assert decode_bm(encode_bm(bm)) == bm
+
+    def test_bm_rejects_malformed(self):
+        with pytest.raises(CodecError):
+            decode_bm({"heads": [1]})
+        with pytest.raises(CodecError):
+            decode_bm([1, 2, 3])  # odd length
+        with pytest.raises(CodecError):
+            decode_bm([-2, 1])    # head below -1
+
+    def test_pull_requests_round_trip(self):
+        reqs = [PullRequest(substream=0, first=3, last=5),
+                PullRequest(substream=2, first=0, last=0)]
+        assert decode_pull_requests(encode_pull_requests(reqs)) == reqs
+
+    def test_pull_requests_reject_malformed(self):
+        with pytest.raises(CodecError):
+            decode_pull_requests("nope")
+        with pytest.raises(CodecError):
+            decode_pull_requests([[0, 5, 3]])  # last < first
+        with pytest.raises(CodecError):
+            decode_pull_requests([["a", "b", "c"]])
