@@ -4,11 +4,16 @@ Paper context: the measured broadcast peaks at ~40,000 concurrent users
 (Fig. 5), so engine throughput at four-digit-to-five-digit populations is
 what decides whether paper-scale studies are reproducible here.  This
 benchmark drives the ``uniform_ramp`` scenario (exactly ``N`` arrivals,
-everyone stays -- the Fig. 9 sweep workload) at N in {250, 1k, 4k, 10k}
-through **both** engines and records:
+everyone stays -- the Fig. 9 sweep workload) through every engine in its
+applicable range -- the detailed engine at N in {250, 1k, 4k, 10k}, the
+fluid engine additionally at {50k, 100k}, the mean-field ODE backend at
+{100k, 1M} -- and records:
 
 * ``events_per_s`` / ``wall_s`` / ``peak_rss_mb`` for the detailed engine,
-* ``peer_steps_per_s`` / ``wall_s`` / ``peak_rss_mb`` for the fluid engine,
+* ``peer_steps_per_s`` / ``wall_s`` / ``peak_rss_mb`` for the fluid and
+  ODE engines (for the ODE backend the rate is *effective*: its step is
+  O(1) in N, so the number is what a peer-level engine would have had to
+  sustain),
 * one extra row for the *shared runtime scenario* of ``bench_runtime.py``
   (288-user steady audience), so the detailed-engine figure is directly
   comparable with the committed ``BENCH_runtime.json`` baseline.
@@ -48,6 +53,26 @@ REPO_SRC = BENCH_DIR.parent / "src"
 
 SEED = 0
 SCALE_POINTS = (250, 1_000, 4_000, 10_000)
+#: extra fluid-only points (the detailed engine is event-bound well below
+#: these) and mean-field-only points (the ODE backend is O(1) in N, so it
+#: is benchmarked where the fluid engine gives up)
+FLUID_POINTS = (50_000, 100_000)
+ODE_POINTS = (100_000, 1_000_000)
+#: engine applicability thresholds for arbitrary --points values
+DETAILED_MAX = 10_000
+FLUID_MAX = 100_000
+ODE_MIN = 100_000
+
+
+def _engines_for(n_users: int):
+    engines = []
+    if n_users <= DETAILED_MAX:
+        engines.append("detailed")
+    if n_users <= FLUID_MAX:
+        engines.append("fast")
+    if n_users >= ODE_MIN:
+        engines.append("ode")
+    return tuple(engines)
 #: scale_scenario geometry: N arrivals over the first half of the horizon,
 #: then a steady fully-joined tail; servers provisioned with the audience.
 HORIZON_S = 300.0
@@ -103,7 +128,7 @@ def measure_point(engine: str, n_users: int) -> dict:
         row["events"] = events
         row["events_per_s"] = round(events / wall, 1)
     else:
-        dt = res.sim.fast.dt
+        dt = res.sim.fast.dt if engine == "fast" else res.backend.ode.dt
         n_steps = int(scenario.horizon_s / dt)
         peak = float(res.metrics()["concurrent_users"])
         # audience integral: ramp to peak over RAMP_FRAC, then flat (the
@@ -111,6 +136,9 @@ def measure_point(engine: str, n_users: int) -> dict:
         mean_alive = max(1.0, peak / 2.0 if shared
                          else peak * (1.0 - RAMP_FRAC / 2.0))
         row["steps"] = n_steps
+        # for the ODE backend this is the *effective* rate: the step cost
+        # is O(panel), not O(N), so the number states what the peer-level
+        # engines would have had to sustain to match its wall time
         row["peer_steps_per_s"] = round(n_steps * mean_alive / wall, 1)
     return row
 
@@ -179,18 +207,21 @@ def main(argv=None) -> int:
         print(json.dumps(measure_point(engine, int(n))))
         return 0
 
-    points = tuple(args.points) if args.points else (
-        SCALE_POINTS[:1] if args.smoke else SCALE_POINTS
-    )
+    if args.points:
+        points = tuple(sorted(args.points))
+    elif args.smoke:
+        points = SCALE_POINTS[:1]
+    else:
+        points = tuple(sorted({*SCALE_POINTS, *FLUID_POINTS, *ODE_POINTS}))
     rows = []
     for n in points:
-        for engine in ("detailed", "fast"):
+        for engine in _engines_for(n):
             row = _run_child(engine, n)
             rows.append(row)
             rate = row.get("events_per_s", row.get("peer_steps_per_s"))
             unit = "events/s" if engine == "detailed" else "peer-steps/s"
-            print(f"[bench_scale] {engine:>8} N={n:>6}: "
-                  f"{row['wall_s']:>8.2f}s  {rate:>12,.0f} {unit}  "
+            print(f"[bench_scale] {engine:>8} N={n:>7}: "
+                  f"{row['wall_s']:>8.2f}s  {rate:>13,.0f} {unit}  "
                   f"rss {row['peak_rss_mb']:.0f} MiB")
 
     if args.smoke:

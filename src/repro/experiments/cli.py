@@ -10,6 +10,7 @@ Usage::
     python -m repro ablations            # design-choice ablations
     python -m repro fig5 --engine detailed    # override the engine
     python -m repro parity --scenario steady_audience   # cross-engine check
+    python -m repro run --engine ode          # 1M users in seconds (repro.model.meanfield)
     python -m repro campaign run spec.json --jobs 4   # see repro.campaign
     python -m repro check src/                # determinism lint (repro.check)
     python -m repro profile fig3              # cProfile hot spots + Chrome trace
@@ -174,6 +175,11 @@ def main(argv=None) -> int:
         from repro.runtime.parity import main as parity_main
 
         return parity_main(argv[1:])
+    if argv and argv[0] == "run":
+        # raw single-scenario runner (own flags: --users/--horizon/...)
+        from repro.experiments.run_cli import main as run_main
+
+        return run_main(argv[1:])
     if argv and argv[0] == "check":
         # the determinism lint has its own flags (paths, --format, ...)
         from repro.check.cli import main as check_main

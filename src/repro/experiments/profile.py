@@ -11,6 +11,15 @@ Usage::
     python -m repro profile fig3
     python -m repro profile fig6 --seed 3 --top 40 --sort cumtime
     python -m repro profile fig5 --trace-out fig5.trace.json --stats-out p.pstats
+    python -m repro profile fig9 --engine fast     # + per-step-phase table
+
+``--engine`` overrides the experiment's engine, exactly as for the plain
+subcommands.  For the vectorized engines (``fast``, ``ode``) it also
+enables their built-in phase stopwatch (``REPRO_PROFILE_PHASES``) and
+prints a per-step-phase wall-time table after the hot spots -- the
+engine-semantics view (arrivals/join/rates/heads/...) that cProfile's
+per-function ranking cannot give, and the tool that explains
+non-monotonic peer-steps/s in BENCH_scale.json.
 
 The hot-spot table reports, per call site (``file:line(function)``):
 call count, total internal time, per-call internal time, cumulative time
@@ -28,13 +37,33 @@ from __future__ import annotations
 
 import argparse
 import cProfile
+import os
 import pstats
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import repro.obs as obs
 
-__all__ = ["main", "hotspot_table"]
+__all__ = ["main", "hotspot_table", "phase_table"]
+
+#: engines with a built-in step-phase stopwatch (module with
+#: PHASE_NAMES/PHASE_TOTALS/reset_phase_totals)
+_PHASE_MODULES = {
+    "fast": "repro.fastsim.engine",
+    "ode": "repro.model.meanfield",
+}
+
+
+def phase_table(totals: Dict[str, float], order: tuple) -> str:
+    """Format a per-step-phase wall-time breakdown."""
+    total = sum(totals.values())
+    lines = [f"{'phase':<14}{'seconds':>10}  {'share':>6}"]
+    for name in order:
+        sec = totals.get(name, 0.0)
+        share = 100.0 * sec / total if total else 0.0
+        lines.append(f"{name:<14}{sec:>10.3f}  {share:>5.1f}%")
+    lines.append(f"{'total':<14}{total:>10.3f}")
+    return "\n".join(lines)
 
 _SORTS = ("tottime", "cumtime", "ncalls")
 
@@ -88,6 +117,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="experiment to profile")
     parser.add_argument("--seed", type=int, default=0,
                         help="root random seed (default 0)")
+    parser.add_argument("--engine", default=None,
+                        help="override the experiment's engine; for the "
+                             "vectorized engines (fast, ode) also print a "
+                             "per-step-phase timing breakdown")
     parser.add_argument("--top", type=int, default=25,
                         help="rows in the hot-spot table (default 25)")
     parser.add_argument("--sort", choices=_SORTS, default="tottime",
@@ -104,12 +137,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     trace_path = args.trace_out or f"profile_{args.experiment}.trace.json"
     fn = EXPERIMENTS[args.experiment]
     profiler = cProfile.Profile()
+    phase_mod = None
+    if args.engine in _PHASE_MODULES:
+        import importlib
+
+        from repro.fastsim.engine import PHASE_TIMING_ENV
+
+        phase_mod = importlib.import_module(_PHASE_MODULES[args.engine])
+        os.environ[PHASE_TIMING_ENV] = "1"
+        phase_mod.reset_phase_totals()
     try:
         with obs.session(trace_path=trace_path, scenario=args.experiment,
                          seed=args.seed):
             profiler.enable()
             try:
-                _run_one(args.experiment, fn, args.seed, quiet=True)
+                _run_one(args.experiment, fn, args.seed,
+                         engine=args.engine, quiet=True)
             finally:
                 profiler.disable()
     except KeyboardInterrupt:
@@ -127,5 +170,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"== hot spots: {args.experiment} (seed {args.seed}, "
               f"sorted by {args.sort}) ==")
     print(hotspot_table(stats, top=args.top, sort=args.sort))
+    if phase_mod is not None:
+        print()
+        print(f"== step phases: engine {args.engine} "
+              f"(real wall time inside step(), cProfile overhead "
+              f"included) ==")
+        print(phase_table(phase_mod.PHASE_TOTALS, phase_mod.PHASE_NAMES))
     print(f"[chrome trace written to {trace_path}]")
     return 0

@@ -1,16 +1,23 @@
 """Array-state fluid engine.
 
-One step of length ``dt``:
+One step of length ``dt``, every phase batched over the population
+(struct-of-arrays state, numpy kernels, O(1) Python overhead per step):
 
-1. **Arrivals / retries** -- activate peers whose (re-)join time passed.
-2. **Join pipeline** -- joiners sample candidate parents from the
-   reachable pool; once they hold at least one parent they pick the
-   ``m - T_p`` offset and start buffering.
+1. **Arrivals / retries** -- activate peers whose (re-)join time passed;
+   the whole due batch spawns at once (vector class/capacity draws,
+   order-preserving batch slot allocation).
+2. **Join pipeline** -- joiners sample a candidate-parent *matrix* from
+   the reachable pool; once they hold at least one parent they pick the
+   ``m - T_p`` offset and start buffering.  Parent assignment is batched:
+   masked random keys pick one candidate per (peer, sub-stream) and an
+   argsort group-rank pass enforces children caps across the whole batch
+   at once (contenders are randomly permuted first, so intra-step
+   contention resolves uniformly).
 3. **Rates** -- per-connection demand (1 sub-stream unit when caught up,
    ``catchup_factor`` when behind); each parent's upload slots are split
    max-min fairly.  With only two demand tiers the water level has a
    closed form per parent, so the whole allocation is a handful of
-   ``np.add.at`` scatters -- no per-parent Python loop.
+   ``np.bincount`` scatters -- no per-parent Python loop.
 4. **Heads** -- ``H += rate * dt``, capped by the *previous* step's parent
    head (one-step lag = per-hop latency; also makes accidental cycles
    harmless).  Children fallen behind a parent's cache window are
@@ -20,16 +27,26 @@ One step of length ``dt``:
    (continuity index), in the same continuous form the paper's Eqs. 3-4
    use.
 6. **Adaptation** -- vectorized Inequality (1)/(2) detection; violators
-   (scalar loop, few per step) re-select parents under the ``T_a``
-   cool-down.
+   re-select parents in one batch under the ``T_a`` cool-down (voluntary
+   adaptations replace their single worst sub-stream, forced ones --
+   dead or missing parents -- refill every broken sub-stream).
 7. **Departures** -- intended-duration leaves, program endings, patience
-   and stall watchdogs (failed sessions retry with backoff).
+   and stall watchdogs, each as one batched leave (failed sessions retry
+   with backoff).
 8. **Telemetry** -- activity events immediately, status reports on each
-   peer's 5-minute phase, to a standard :class:`LogServer`.
+   peer's 5-minute phase, to a standard :class:`LogServer`.  Per-event
+   Python cost is O(events), never O(population).
+
+Set ``REPRO_PROFILE_PHASES=1`` (or flip :attr:`FastSimulation.
+phase_timing`) to accumulate per-phase wall-clock into
+:data:`PHASE_TOTALS` -- ``python -m repro profile --engine fast`` uses
+this for its phase breakdown table.
 """
 
 from __future__ import annotations
 
+import heapq
+import os
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Dict, List, Optional, Tuple
@@ -51,7 +68,13 @@ from repro.telemetry.reports import (
 )
 from repro.telemetry.server import LogServer
 
-__all__ = ["FastSimConfig", "FastSimulation"]
+__all__ = [
+    "FastSimConfig",
+    "FastSimulation",
+    "PHASE_NAMES",
+    "PHASE_TOTALS",
+    "reset_phase_totals",
+]
 
 # lifecycle states
 _EMPTY, _JOINING, _BUFFERING, _PLAYING, _LEFT = 0, 1, 2, 3, 4
@@ -61,6 +84,24 @@ _CONTRIBUTOR = {
     int(ConnectivityClass.UPNP),
     int(ConnectivityClass.SERVER),
 }
+
+#: Step phases, in execution order (keys of the timing breakdown).
+PHASE_NAMES: Tuple[str, ...] = (
+    "arrivals", "join", "rates", "heads", "playback", "ready",
+    "adaptation", "departures", "reports",
+)
+
+#: Process-wide per-phase wall-clock accumulator (seconds), fed by every
+#: :class:`FastSimulation` whose ``phase_timing`` is on.
+PHASE_TOTALS: Dict[str, float] = {}
+
+#: Environment switch for phase timing (any non-empty value enables it).
+PHASE_TIMING_ENV = "REPRO_PROFILE_PHASES"
+
+
+def reset_phase_totals() -> None:
+    """Zero the process-wide phase-timing accumulator."""
+    PHASE_TOTALS.clear()
 
 
 @dataclass(frozen=True)
@@ -115,6 +156,10 @@ class FastSimulation:
         self.log = LogServer()
         self.now = 0.0
         self.steps_run = 0
+
+        # opt-in per-phase wall-clock accounting (profile CLI breakdown)
+        self.phase_timing = bool(os.environ.get(PHASE_TIMING_ENV))
+        self.phase_seconds: Dict[str, float] = {}
 
         # observability: auto-attach to an active repro.obs session; the
         # step keeps a single ``is None`` guard per instrumented block, so
@@ -175,7 +220,9 @@ class FastSimulation:
         self._next_session = 1
         self.sessions_spawned = 0
 
-        # pending (re-)joins: (time, user_id, attempt, intended_depart)
+        # pending (re-)joins: a (time, user_id, attempt, intended_depart)
+        # min-heap -- retries trickle in every step, so O(log n) pushes
+        # beat re-sorting the whole queue
         self._pending_joins: List[Tuple[float, int, int, float]] = []
         self._program_endings: List[Tuple[float, float]] = []
         self._retries_by_user: Dict[int, int] = {}
@@ -197,6 +244,14 @@ class FastSimulation:
     def detach_obs(self) -> None:
         """Remove instrumentation from this simulation."""
         self._obs = None
+
+    def _mark_phase(self, name: str, t0: float) -> float:
+        """Charge the wall-clock since ``t0`` to phase ``name``."""
+        t1 = perf_counter()  # repro: noqa[DET002] opt-in phase-timing instrumentation only
+        span = t1 - t0
+        self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + span
+        PHASE_TOTALS[name] = PHASE_TOTALS.get(name, 0.0) + span
+        return t1
 
     # ------------------------------------------------------------------
     # setup helpers
@@ -243,15 +298,26 @@ class FastSimulation:
         self.parent = parent
         self._cap = new_cap
 
-    def _alloc_slot(self) -> int:
-        if self._free:
-            return self._free.pop()
-        # linear scan for first EMPTY beyond servers; grow when exhausted
-        empties = np.nonzero(self.state[self.n_servers:] == _EMPTY)[0]
-        if empties.size == 0:
-            self._grow()
+    def _alloc_slots(self, n: int) -> np.ndarray:
+        """Allocate ``n`` slots: free-list (LIFO) first, then the lowest
+        EMPTY slots beyond the servers, growing when exhausted -- the same
+        order a one-at-a-time allocation produces, so slot numbering (and
+        with it every logged node_id) is independent of batch boundaries
+        and of the capacity hint."""
+        out: List[int] = []
+        while self._free and len(out) < n:
+            out.append(self._free.pop())
+        need = n - len(out)
+        if need:
+            if out:
+                # reserve the free-list slots (still EMPTY) against the scan
+                self.state[np.asarray(out, dtype=np.int64)] = _LEFT
             empties = np.nonzero(self.state[self.n_servers:] == _EMPTY)[0]
-        return int(empties[0]) + self.n_servers
+            while empties.size < need:
+                self._grow()
+                empties = np.nonzero(self.state[self.n_servers:] == _EMPTY)[0]
+            out.extend(int(e) + self.n_servers for e in empties[:need])
+        return np.asarray(out, dtype=np.int64)
 
     # ------------------------------------------------------------------
     # workload API
@@ -272,7 +338,7 @@ class FastSimulation:
             self._pending_joins.append(
                 (float(t), user_id_base + i, 1, float(t + d))
             )
-        self._pending_joins.sort(key=lambda x: x[0], reverse=True)  # pop() order
+        heapq.heapify(self._pending_joins)
 
     def add_program_ending(self, time_s: float, leave_probability: float) -> None:
         """Schedule a program-end departure wave."""
@@ -295,80 +361,128 @@ class FastSimulation:
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
-    def _spawn(self, user_id: int, attempt: int, depart_at: float) -> int:
-        slot = self._alloc_slot()
+    def _retry_deadline(self, uid: int) -> float:
+        """Departure deadline for a retry attempt (the NaN sentinel in the
+        pending-joins queue).  A retry can only be queued by a leave that
+        happened *after* the user's first spawn recorded its deadline, so
+        a missing entry means the queue and the deadline bookkeeping are
+        out of sync -- fail loudly instead of inventing a deadline."""
+        try:
+            return self._user_deadline[uid]
+        except KeyError:
+            raise RuntimeError(
+                f"retry for user {uid} has no recorded departure deadline; "
+                "_pending_joins and _user_deadline are out of sync"
+            ) from None
+
+    def _spawn_batch(self, uids: np.ndarray, atts: np.ndarray,
+                     departs: np.ndarray) -> None:
+        """Activate a batch of (re-)joining users in one shot."""
+        n = int(uids.size)
+        if n == 0:
+            return
+        slots = self._alloc_slots(n)
         rng = self._rng
-        cls = self.mix.sample(rng)
-        up = self.capacity_model.sample_upload(cls, rng)
-        self.state[slot] = _JOINING
-        self.cls[slot] = int(cls)
-        self.upload_slots[slot] = self.cfg.upload_slots(up)
-        self.H[slot, :] = -1.0
-        self.parent[slot, :] = -1
-        self.q[slot] = 0.0
-        self.start_idx[slot] = 0.0
-        self.joined_at[slot] = self.now
-        self.ready_at[slot] = np.nan
-        self.depart_at[slot] = depart_at
-        self.user_id[slot] = user_id
-        self.session_id[slot] = self._next_session
-        self.attempt[slot] = attempt
-        self.children[slot] = 0
-        self.cool_until[slot] = 0.0
+        cfg = self.cfg
+        classes = np.fromiter(
+            (int(c) for c in self.mix.sample_many(n, rng)),
+            dtype=np.int64, count=n,
+        )
+        ups = self.capacity_model.sample_uploads(
+            [ConnectivityClass(int(c)) for c in classes], rng
+        )
+        self.state[slots] = _JOINING
+        self.cls[slots] = classes
+        self.upload_slots[slots] = ups / cfg.substream_rate_bps
+        self.H[slots, :] = -1.0
+        self.parent[slots, :] = -1
+        self.q[slots] = 0.0
+        self.start_idx[slots] = 0.0
+        self.joined_at[slots] = self.now
+        self.ready_at[slots] = np.nan
+        self.depart_at[slots] = departs
+        self.user_id[slots] = uids
+        self.session_id[slots] = np.arange(
+            self._next_session, self._next_session + n, dtype=np.int64
+        )
+        self.attempt[slots] = atts
+        self.children[slots] = 0
+        self.cool_until[slots] = 0.0
         for arr in (self.due, self.missed, self.win_due, self.win_missed,
                     self.watch_due, self.watch_missed, self.bits_up,
                     self.bits_down, self.bits_up_rep, self.bits_down_rep):
-            arr[slot] = 0.0
-        self.report_phase[slot] = float(rng.uniform(0, self.cfg.status_report_period_s))
-        self.ever_incoming[slot] = False
-        self.public_addr[slot] = cls in (
-            ConnectivityClass.DIRECT, ConnectivityClass.FIREWALL
+            arr[slots] = 0.0
+        self.report_phase[slots] = rng.uniform(
+            0, cfg.status_report_period_s, n
         )
-        self.next_watch[slot] = self.now + self.cfg.stall_window_s
-        self.is_contrib[slot] = int(cls) in _CONTRIBUTOR
-        self.next_try[slot] = 0.0
-        self._next_session += 1
-        self.sessions_spawned += 1
-        self._activity(slot, ActivityEvent.JOIN)
+        self.ever_incoming[slots] = False
+        self.public_addr[slots] = np.isin(classes, (
+            int(ConnectivityClass.DIRECT), int(ConnectivityClass.FIREWALL),
+        ))
+        self.next_watch[slots] = self.now + cfg.stall_window_s
+        self.is_contrib[slots] = np.isin(classes, list(_CONTRIBUTOR))
+        self.next_try[slots] = 0.0
+        self._next_session += n
+        self.sessions_spawned += n
+        for slot in slots:
+            self._activity(int(slot), ActivityEvent.JOIN)
         if self._obs is not None:
-            self._obs.registry.counter("fastsim.joins").inc()
-        return slot
+            self._obs.registry.counter("fastsim.joins").inc(n)
 
-    def _leave(self, slot: int, reason: LeaveReason, *, silent: bool = False,
-               retry: bool = True) -> None:
-        if self.state[slot] in (_EMPTY, _LEFT):
+    def _leave_batch(self, slots: np.ndarray, reason: LeaveReason, *,
+                     silent: Optional[np.ndarray] = None,
+                     retry: bool = True) -> None:
+        """Remove a batch of peers; one scatter per bookkeeping array."""
+        live = (self.state[slots] != _EMPTY) & (self.state[slots] != _LEFT)
+        slots = slots[live]
+        if silent is not None:
+            silent = silent[live]
+        if slots.size == 0:
             return
         # release our own subscriptions (parents regain child capacity)
-        for sub in range(self.k):
-            p = self.parent[slot, sub]
-            if p >= 0:
-                self.children[p] -= 1
+        par = self.parent[slots, :]
+        held = par[par >= 0]
+        if held.size:
+            self.children -= np.bincount(held, minlength=self._cap)
         # orphan the children: their parent pointer dies; adaptation deals
-        child_mask = self.parent == slot
-        self.parent[child_mask] = -1
-        self.children[slot] = 0
-        uid = int(self.user_id[slot])
-        att = int(self.attempt[slot])
+        leaving = np.zeros(self._cap, dtype=bool)
+        leaving[slots] = True
+        orphan = (self.parent >= 0) & leaving[np.maximum(self.parent, 0)]
+        self.parent[orphan] = -1
+        self.children[slots] = 0
+        uids = self.user_id[slots]
+        atts = self.attempt[slots]
         if self._obs is not None:
             reg = self._obs.registry
-            reg.counter("fastsim.leaves").inc()
-            reg.counter(f"fastsim.leaves.{reason.name.lower()}").inc()
-        if not silent:
-            self._activity(slot, ActivityEvent.LEAVE, reason)
-        self.state[slot] = _EMPTY
-        self.parent[slot, :] = -1
-        self.depart_at[slot] = np.inf
-        self._free.append(slot)
+            reg.counter("fastsim.leaves").inc(int(slots.size))
+            reg.counter(f"fastsim.leaves.{reason.name.lower()}").inc(
+                int(slots.size))
+        if silent is None:
+            loud = slots
+        else:
+            loud = slots[~silent]
+        for slot in loud:
+            self._activity(int(slot), ActivityEvent.LEAVE, reason)
+        self.state[slots] = _EMPTY
+        self.parent[slots, :] = -1
+        self.depart_at[slots] = np.inf
+        self._free.extend(int(s) for s in slots)
         if retry and reason in (LeaveReason.IMPATIENCE, LeaveReason.FAILURE):
-            retries = self._retries_by_user.get(uid, 0)
-            if att <= self.cfg.max_join_retries:
-                self._retries_by_user[uid] = retries + 1
-                backoff = self.cfg.retry_backoff_s * (0.5 + self._rng.random())
-                # keep the user's original departure deadline
-                self._pending_joins.append(
-                    (self.now + backoff, uid, att + 1, float("nan"))
+            draws = self._rng.random(slots.size)
+            for i in range(slots.size):
+                att = int(atts[i])
+                if att > self.cfg.max_join_retries:
+                    continue
+                uid = int(uids[i])
+                self._retries_by_user[uid] = (
+                    self._retries_by_user.get(uid, 0) + 1
                 )
-                self._pending_joins.sort(key=lambda x: x[0], reverse=True)
+                backoff = self.cfg.retry_backoff_s * (0.5 + float(draws[i]))
+                # keep the user's original departure deadline
+                heapq.heappush(
+                    self._pending_joins,
+                    (self.now + backoff, uid, att + 1, float("nan")),
+                )
 
     # ------------------------------------------------------------------
     # parent selection
@@ -379,72 +493,110 @@ class FastSimulation:
             ((self.state == _PLAYING) | (self.state == _BUFFERING))
         )[0]
 
-    def _sample_candidates(self, slot: int, pool: np.ndarray) -> np.ndarray:
-        """Sample reachable, non-full candidate parents (the joiner's
-        effective partner set for this attempt)."""
-        if pool.size == 0:
-            return pool
+    def _sample_candidate_matrix(
+        self, slots: np.ndarray, pool: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sample a ``(len(slots), candidates_per_try)`` candidate-parent
+        matrix plus its validity mask (the per-peer effective partner set
+        for this attempt): reachable, below the children cap, not self."""
         fast = self.fast
         cfg = self.cfg
         rng = self._rng
         n_cand = min(fast.candidates_per_try, pool.size)
-        cand = pool[rng.integers(0, pool.size, size=n_cand)]
+        cand = pool[rng.integers(0, pool.size, size=(slots.size, n_cand))]
         # reachability: contributor classes always; NAT/firewall rarely
-        reach = self.is_contrib[cand] | (rng.random(cand.size) < fast.nat_parent_prob)
+        reach = self.is_contrib[cand] | (
+            rng.random(cand.shape) < fast.nat_parent_prob
+        )
         # capacity gate: parents at their children cap reject (M partners)
         max_children = cfg.max_partners * self.k * fast.max_children_factor
         server_cap = cfg.server_max_partners * self.k
         caps = np.where(
-            self.cls[cand] == int(ConnectivityClass.SERVER), server_cap, max_children
+            self.cls[cand] == int(ConnectivityClass.SERVER),
+            server_cap, max_children,
         )
-        ok = reach & (self.children[cand] < caps) & (cand != slot)
-        return cand[ok]
+        valid = reach & (self.children[cand] < caps) & (cand != slots[:, None])
+        return cand, valid
 
-    def _try_select_parents(self, slot: int, substreams: List[int],
-                            pool: np.ndarray,
-                            cand: Optional[np.ndarray] = None) -> int:
-        """Fill the given sub-stream slots from sampled candidates; returns
-        how many were filled."""
+    def _select_parents_batch(
+        self,
+        slots: np.ndarray,
+        want: np.ndarray,
+        cand: np.ndarray,
+        valid: np.ndarray,
+        best_head: np.ndarray,
+    ) -> np.ndarray:
+        """Fill the wanted ``(peer, sub-stream)`` pairs from the sampled
+        candidate matrix in one batch; returns per-peer filled counts.
+
+        Each pair draws a random key per candidate, masks out candidates
+        failing the buffer-window and Inequality-(2) filters, and takes
+        the argmax key (= uniform choice among the survivors).  Children
+        caps are then enforced across the whole batch: contenders are
+        randomly permuted, argsort-grouped by chosen parent, ranked
+        within their group, and accepted while the parent has capacity
+        left -- so no parent ever exceeds its cap, and which contenders
+        win under contention is uniform."""
         cfg = self.cfg
-        rng = self._rng
-        if cand is None:
-            cand = self._sample_candidates(slot, pool)
-        if cand.size == 0:
-            return 0
-        # Inequality (2) as a selection filter: a qualified parent's head on
-        # the sub-stream must be within T_p of the best head among the
+        n, n_cand = cand.shape
+        k = self.k
+        heads = self.H[cand, :]                        # (n, C, k)
+        need = self.H[slots, :]                        # (n, k)
+        # Inequality (2) as a selection filter: a qualified parent's head
+        # on the sub-stream must be within T_p of the best head among the
         # candidate (partner) set -- this is what keeps starved peers from
         # being chosen as parents even though capacity itself is ignored
-        best_head = float(self.H[cand, :].max())
-        filled = 0
-        for sub in substreams:
-            need = self.H[slot, sub]  # next block needed - 1
-            # candidate must be at least as advanced and still hold our block
-            heads = self.H[cand, sub]
-            window_ok = (
-                (heads >= need)
-                & (need + 1.0 >= heads - cfg.buffer_seconds + 1.0)
-                & (best_head - heads < cfg.tp_seconds)
-            )
-            avail = cand[window_ok]
-            if avail.size == 0:
-                continue
-            choice = int(avail[rng.integers(avail.size)])
-            old = self.parent[slot, sub]
-            if old >= 0:
-                self.children[old] -= 1
-            self.parent[slot, sub] = choice
-            self.children[choice] += 1
-            # classifier signal: a contributor-class parent got this child
-            # through an *incoming* partnership (the child initiated); a
-            # NAT/firewall parent could only be reached over a partnership
-            # it initiated itself, so it earns no incoming credit
-            if int(self.cls[choice]) in _CONTRIBUTOR:
-                self.ever_incoming[choice] = True
-            filled += 1
-        if filled and self._obs is not None:
-            self._obs.registry.counter("fastsim.parent_selections").inc(filled)
-        return filled
+        ok = (
+            valid[:, :, None]
+            & want[:, None, :]
+            & (heads >= need[:, None, :])
+            & (need[:, None, :] + 1.0 >= heads - cfg.buffer_seconds + 1.0)
+            & (best_head[:, None, None] - heads < cfg.tp_seconds)
+        )
+        keys = np.where(ok, self._rng.random((n, n_cand, k)), -1.0)
+        ci = keys.argmax(axis=1)                       # (n, k) winning column
+        got = np.take_along_axis(keys, ci[:, None, :], axis=1)[:, 0, :] > -0.5
+        rows, subs = np.nonzero(got)
+        if rows.size == 0:
+            return np.zeros(n, dtype=np.int64)
+        par = cand[rows, ci[rows, subs]]
+        caps = np.where(
+            self.cls[par] == int(ConnectivityClass.SERVER),
+            cfg.server_max_partners * k,
+            cfg.max_partners * k * self.fast.max_children_factor,
+        )
+        contend = self._rng.permutation(rows.size)
+        order = np.argsort(par[contend], kind="stable")
+        picked = contend[order]                        # grouped by parent
+        par_g = par[picked]
+        idx = np.arange(par_g.size)
+        group_first = np.ones(par_g.size, dtype=bool)
+        group_first[1:] = par_g[1:] != par_g[:-1]
+        rank = idx - np.maximum.accumulate(np.where(group_first, idx, 0))
+        accepted = picked[self.children[par_g] + rank < caps[picked]]
+        if accepted.size == 0:
+            return np.zeros(n, dtype=np.int64)
+        a_rows = rows[accepted]
+        a_subs = subs[accepted]
+        a_par = par[accepted]
+        a_slots = slots[a_rows]
+        old = self.parent[a_slots, a_subs]
+        has_old = old >= 0
+        if has_old.any():
+            self.children -= np.bincount(old[has_old], minlength=self._cap)
+        self.parent[a_slots, a_subs] = a_par
+        self.children += np.bincount(a_par, minlength=self._cap)
+        # classifier signal: a contributor-class parent got this child
+        # through an *incoming* partnership (the child initiated); a
+        # NAT/firewall parent could only be reached over a partnership
+        # it initiated itself, so it earns no incoming credit
+        contrib = self.is_contrib[a_par]
+        if contrib.any():
+            self.ever_incoming[a_par[contrib]] = True
+        if self._obs is not None:
+            self._obs.registry.counter("fastsim.parent_selections").inc(
+                int(accepted.size))
+        return np.bincount(a_rows, minlength=n)
 
     # ------------------------------------------------------------------
     # the step
@@ -453,6 +605,8 @@ class FastSimulation:
         """Advance the simulation by one time step."""
         _obs = self._obs
         _t0 = perf_counter() if _obs is not None else 0.0  # repro: noqa[DET002] obs step-timer instrumentation only
+        timing = self.phase_timing
+        _pt = perf_counter() if timing else 0.0  # repro: noqa[DET002] opt-in phase-timing instrumentation only
         dt = self.fast.dt
         cfg = self.cfg
         k = self.k
@@ -460,55 +614,94 @@ class FastSimulation:
         rng = self._rng
 
         # 1. arrivals / retries -------------------------------------------------
-        while self._pending_joins and self._pending_joins[-1][0] <= now:
-            t, uid, att, depart = self._pending_joins.pop()
-            if np.isnan(depart):
-                # retry: recover the user's deadline from bookkeeping -- the
-                # user watches until its original deadline; approximate with
-                # a fresh draw is wrong, so store deadlines per user
-                depart = self._user_deadline.get(uid, now + 600.0)
-            else:
-                self._user_deadline[uid] = depart
-            if depart <= now:
-                continue  # watch window already over
-            self._spawn(uid, att, depart)
+        if self._pending_joins and self._pending_joins[0][0] <= now:
+            uids: List[int] = []
+            atts: List[int] = []
+            deps: List[float] = []
+            while self._pending_joins and self._pending_joins[0][0] <= now:
+                _t, uid, att, depart = heapq.heappop(self._pending_joins)
+                if np.isnan(depart):
+                    depart = self._retry_deadline(uid)
+                else:
+                    self._user_deadline[uid] = depart
+                if depart <= now:
+                    continue  # watch window already over
+                uids.append(uid)
+                atts.append(att)
+                deps.append(depart)
+            if uids:
+                self._spawn_batch(
+                    np.asarray(uids, dtype=np.int64),
+                    np.asarray(atts, dtype=np.int64),
+                    np.asarray(deps, dtype=np.float64),
+                )
+        if timing:
+            _pt = self._mark_phase("arrivals", _pt)
 
         # 2. join pipeline -----------------------------------------------------
         joining = np.nonzero(self.state == _JOINING)[0]
         pool = self._candidate_pool()
         if joining.size:
-            for slot in joining:
-                if now - self.joined_at[slot] < self.fast.join_overhead_s:
-                    continue
-                if now < self.next_try[slot]:
-                    continue
-                cand = self._sample_candidates(slot, pool)
-                if cand.size == 0:
-                    self.next_try[slot] = now + cfg.bm_exchange_period_s
-                    continue
-                if self.H[slot, 0] < 0:
+            eligible = joining[
+                (now - self.joined_at[joining] >= self.fast.join_overhead_s)
+                & (now >= self.next_try[joining])
+            ]
+            if eligible.size and pool.size == 0:
+                self.next_try[eligible] = now + cfg.bm_exchange_period_s
+            elif eligible.size:
+                cand, valid = self._sample_candidate_matrix(eligible, pool)
+                has_cand = valid.any(axis=1)
+                self.next_try[eligible[~has_cand]] = (
+                    now + cfg.bm_exchange_period_s
+                )
+                sel = eligible[has_cand]
+                if sel.size:
+                    cand = cand[has_cand]
+                    valid = valid[has_cand]
+                    # best head among this attempt's candidate set
+                    headmax = np.where(
+                        valid, self.H[cand, :].max(axis=2), -np.inf
+                    ).max(axis=1)
                     # Section IV.A: offset = (max head among partners) - T_p;
-                    # the effective partner set is this attempt's candidates
-                    m = float(self.H[cand, :].max())
-                    if m < 0:
-                        continue
-                    start = max(0.0, m - cfg.tp_seconds)
-                    self.H[slot, :] = start - 1.0
-                    self.start_idx[slot] = start
-                    self.q[slot] = start
-                missing = [s for s in range(k) if self.parent[slot, s] < 0]
-                got = self._try_select_parents(slot, missing, pool, cand=cand)
-                if got and self.state[slot] == _JOINING:
-                    self.state[slot] = _BUFFERING
-                    self._activity(slot, ActivityEvent.START_SUBSCRIPTION)
-                if got < len(missing):
-                    self.next_try[slot] = now + cfg.bm_exchange_period_s
+                    # peers whose candidates hold no data yet wait for a
+                    # better sample (no back-off: the pool is still warming)
+                    need_offset = self.H[sel, 0] < 0.0
+                    usable = ~(need_offset & (headmax < 0.0))
+                    sel = sel[usable]
+                    cand = cand[usable]
+                    valid = valid[usable]
+                    headmax = headmax[usable]
+                    need_offset = need_offset[usable]
+                if sel.size:
+                    if need_offset.any():
+                        off_rows = sel[need_offset]
+                        start = np.maximum(
+                            0.0, headmax[need_offset] - cfg.tp_seconds
+                        )
+                        self.H[off_rows, :] = (start - 1.0)[:, None]
+                        self.start_idx[off_rows] = start
+                        self.q[off_rows] = start
+                    want = self.parent[sel, :] < 0
+                    filled = self._select_parents_batch(
+                        sel, want, cand, valid, headmax
+                    )
+                    hooked = sel[filled > 0]
+                    if hooked.size:
+                        self.state[hooked] = _BUFFERING
+                        for slot in hooked:
+                            self._activity(
+                                int(slot), ActivityEvent.START_SUBSCRIPTION)
+                    short = sel[filled < want.sum(axis=1)]
+                    self.next_try[short] = now + cfg.bm_exchange_period_s
+        if timing:
+            _pt = self._mark_phase("join", _pt)
 
         # 3. rates ------------------------------------------------------------------
         active = (self.state == _BUFFERING) | (self.state == _PLAYING)
         conn = self.parent >= 0  # (N, K) live connections
         conn &= active[:, None]
-        if conn.any():
+        any_conn = bool(conn.any())
+        if any_conn:
             rows, cols = conn.nonzero()
             pidx = self.parent[rows, cols]
             lag = self.H[pidx, cols] - self.H[rows, cols]
@@ -517,10 +710,8 @@ class FastSimulation:
             # max-min fair share with two demand tiers (1 and c) has a
             # closed form per parent: water level L solves
             #   sum min(demand_i, L) = capacity
-            n1 = np.zeros(self._cap)
-            nc = np.zeros(self._cap)
-            np.add.at(n1, pidx[~is_catchup], 1.0)
-            np.add.at(nc, pidx[is_catchup], 1.0)
+            n1 = np.bincount(pidx[~is_catchup], minlength=self._cap)
+            nc = np.bincount(pidx[is_catchup], minlength=self._cap)
             cap_p = self.upload_slots
             n_tot = n1 + nc
             with np.errstate(divide="ignore", invalid="ignore"):
@@ -528,81 +719,96 @@ class FastSimulation:
                 level_low = np.where(n_tot > 0, cap_p / n_tot, 0.0)
                 # tier 2: demand-1 conns saturated -> L = (cap - n1) / nc
                 level_high = np.where(nc > 0, (cap_p - n1) / nc, np.inf)
-            level = np.where(level_low <= 1.0, level_low, np.minimum(level_high, c))
+            level = np.where(level_low <= 1.0, level_low,
+                             np.minimum(level_high, c))
             conn_level = level[pidx]
             rate_flat = np.where(is_catchup, np.minimum(conn_level, c),
                                  np.minimum(conn_level, 1.0))
-            rate = np.zeros_like(self.H)
-            rate[rows, cols] = np.maximum(0.0, rate_flat)
-        else:
-            rate = np.zeros_like(self.H)
+            rate_flat = np.maximum(0.0, rate_flat)
+        if timing:
+            _pt = self._mark_phase("rates", _pt)
 
         # 4. advance heads ------------------------------------------------------------
         H_prev = self.H.copy()
-        if conn.any():
-            rows, cols = conn.nonzero()
-            pidx = self.parent[rows, cols]
+        if any_conn:
             target_cap = H_prev[pidx, cols]          # one-step-lagged parent head
             floor = target_cap - cfg.buffer_seconds + 1.0  # cache window
-            newH = self.H[rows, cols] + rate[rows, cols] * dt
+            newH = self.H[rows, cols] + rate_flat * dt
             newH = np.minimum(newH, target_cap)
             # fast-forward over evicted blocks; charge the hole as missed,
             # but only the part the playout pointer has not already charged
             jumped = np.maximum(0.0, floor - np.maximum(newH, self.q[rows]))
-            np.add.at(self.missed, rows, jumped)
-            np.add.at(self.win_missed, rows, jumped)
-            np.add.at(self.watch_missed, rows, jumped)
+            hole = np.bincount(rows, weights=jumped, minlength=self._cap)
+            self.missed += hole
+            self.win_missed += hole
+            self.watch_missed += hole
             newH = np.maximum(newH, floor)
             # account downloaded bits / uploaded bits
             delivered = np.maximum(0.0, newH - self.H[rows, cols])
-            np.add.at(self.bits_down, rows, delivered * cfg.block_bits)
-            np.add.at(self.bits_up, pidx, delivered * cfg.block_bits)
+            self.bits_down += cfg.block_bits * np.bincount(
+                rows, weights=delivered, minlength=self._cap)
+            self.bits_up += cfg.block_bits * np.bincount(
+                pidx, weights=delivered, minlength=self._cap)
             self.H[rows, cols] = newH
         # servers track the live edge directly (fed by the source off-model)
         edge = max(0.0, (now + dt) - 1.0)
         self.H[: self.n_servers, :] = edge
+        if timing:
+            _pt = self._mark_phase("heads", _pt)
 
         # 5. playback -----------------------------------------------------------------
         playing = self.state == _PLAYING
         if playing.any():
-            rows = np.nonzero(playing)[0]
-            q_prev = self.q[rows]
+            prows = np.nonzero(playing)[0]
+            q_prev = self.q[prows]
             q_new = q_prev + dt
-            self.q[rows] = q_new
+            self.q[prows] = q_new
             # per sub-stream: time in (q_prev, q_new] not covered by the head
-            heads = self.H[rows, :]
+            heads = self.H[prows, :]
             miss = np.clip(
                 q_new[:, None] - np.maximum(heads, q_prev[:, None]), 0.0, dt
             ).sum(axis=1)
             due = dt * k
-            self.due[rows] += due
-            self.missed[rows] += miss
-            self.win_due[rows] += due
-            self.win_missed[rows] += miss
-            self.watch_due[rows] += due
-            self.watch_missed[rows] += miss
+            self.due[prows] += due
+            self.missed[prows] += miss
+            self.win_due[prows] += due
+            self.win_missed[prows] += miss
+            self.watch_due[prows] += due
+            self.watch_missed[prows] += miss
+        if timing:
+            _pt = self._mark_phase("playback", _pt)
 
         # 6. ready check --------------------------------------------------------------
         buffering = np.nonzero(self.state == _BUFFERING)[0]
         if buffering.size:
             combined = self.H[buffering, :].min(axis=1) + 1.0
             ready = combined - self.start_idx[buffering] >= cfg.player_buffer_s
-            for slot in buffering[ready]:
-                self.state[slot] = _PLAYING
-                self.ready_at[slot] = now
-                self.q[slot] = self.start_idx[slot]
-                self._activity(slot, ActivityEvent.PLAYER_READY)
+            ready_rows = buffering[ready]
+            if ready_rows.size:
+                self.state[ready_rows] = _PLAYING
+                self.ready_at[ready_rows] = now
+                self.q[ready_rows] = self.start_idx[ready_rows]
+                for slot in ready_rows:
+                    self._activity(int(slot), ActivityEvent.PLAYER_READY)
+        if timing:
+            _pt = self._mark_phase("ready", _pt)
 
         # 7. adaptation ---------------------------------------------------------------
+        # each peer re-evaluates Inequalities (1)/(2) once per buffer-map
+        # exchange period (the event that carries partner heads in the
+        # detailed engine), phase-staggered by slot -- not on every dt
         act = np.nonzero(active)[0]
+        adapt_every = max(1, int(round(cfg.bm_exchange_period_s / dt)))
+        if adapt_every > 1 and act.size:
+            act = act[(act + self.steps_run) % adapt_every == 0]
         if act.size:
             heads = self.H[act, :]
             best = heads.max(axis=1, keepdims=True)
             lag_bad = (best - heads) >= cfg.ts_seconds          # Inequality (1)
-            parent_dead = np.zeros_like(lag_bad)
             par = self.parent[act, :]
             has_parent = par >= 0
-            pstate = np.where(has_parent, self.state[np.maximum(par, 0)], _EMPTY)
+            par_safe = np.maximum(par, 0)
+            pstate = np.where(has_parent, self.state[par_safe], _EMPTY)
             parent_dead = has_parent & ~(
                 (pstate == _PLAYING) | (pstate == _BUFFERING)
             )
@@ -617,17 +823,18 @@ class FastSimulation:
             # protocol's BM exchange does not allow.
             phead = np.where(
                 has_parent,
-                self.H[np.maximum(par, 0), np.arange(self.k)[None, :]],
+                self.H[par_safe, np.arange(self.k)[None, :]],
                 -np.inf,
             )
-            peer_rows = act[act >= self.n_servers]
-            if peer_rows.size >= 4:
-                population_ref = float(
-                    np.percentile(self.H[peer_rows, :].max(axis=1), 75.0)
-                )
+            peer_best = best[act >= self.n_servers, 0]
+            if peer_best.size >= 4:
+                # 75th-percentile stand-in via O(n) partition (nearest-rank;
+                # the threshold is a heuristic, interpolation adds nothing)
+                q = int(0.75 * (peer_best.size - 1))
+                population_ref = float(np.partition(peer_best, q)[q])
             else:
                 population_ref = -np.inf
-            local_best = np.maximum(phead.max(axis=1), heads.max(axis=1))
+            local_best = np.maximum(phead.max(axis=1), best[:, 0])
             local_best = np.maximum(local_best, population_ref)
             ineq2_bad = (local_best[:, None] - phead) >= cfg.tp_seconds
             ineq2_bad &= has_parent
@@ -641,41 +848,70 @@ class FastSimulation:
                 reg.counter("fastsim.dead_parent_links").inc(int(parent_dead.sum()))
             rows_fix = np.nonzero(need_fix.any(axis=1))[0]
             if rows_fix.size:
-                adaptations = 0
-                for r in rows_fix:
-                    slot = int(act[r])
-                    forced = bool((parent_dead[r] | ~has_parent[r]).any())
-                    if not forced and now < self.cool_until[slot]:
-                        continue
-                    if forced and now < self.next_try[slot]:
-                        continue
-                    subs = np.nonzero(need_fix[r])[0]
-                    if not forced:
-                        # voluntary adaptation: one sub-stream per cool-down
-                        worst = subs[np.argmax((best[r, 0] - heads[r, subs]))]
-                        subs = np.array([worst])
-                        self.cool_until[slot] = now + cfg.ta_seconds
-                    # release dead parents before re-selecting
-                    for sub in subs:
-                        p = self.parent[slot, sub]
-                        if p >= 0:
-                            self.children[p] -= 1
-                            self.parent[slot, sub] = -1
-                    got = self._try_select_parents(slot, [int(s) for s in subs], pool)
-                    adaptations += 1
-                    if got < len(subs):
-                        self.next_try[slot] = now + cfg.bm_exchange_period_s
-                if _obs is not None and adaptations:
-                    _obs.registry.counter("fastsim.adaptations").inc(adaptations)
+                slots_fix = act[rows_fix]
+                forced = (
+                    parent_dead[rows_fix] | ~has_parent[rows_fix]
+                ).any(axis=1)
+                # forced re-selection honours the bm-exchange back-off,
+                # voluntary adaptation the T_a cool-down
+                open_now = np.where(
+                    forced,
+                    now >= self.next_try[slots_fix],
+                    now >= self.cool_until[slots_fix],
+                )
+                rows_fix = rows_fix[open_now]
+                slots_fix = slots_fix[open_now]
+                forced = forced[open_now]
+            if rows_fix.size:
+                want = need_fix[rows_fix]
+                vol = np.nonzero(~forced)[0]
+                if vol.size:
+                    # voluntary adaptation: one sub-stream per cool-down --
+                    # the one lagging its row's best head the most
+                    gap = np.where(
+                        want[vol],
+                        best[rows_fix[vol], 0][:, None] - heads[rows_fix[vol], :],
+                        -np.inf,
+                    )
+                    worst = gap.argmax(axis=1)
+                    single = np.zeros_like(want[vol])
+                    single[np.arange(vol.size), worst] = True
+                    want[vol] = single
+                    self.cool_until[slots_fix[vol]] = now + cfg.ta_seconds
+                # release the parents being replaced before re-selecting
+                wr, wc = np.nonzero(want)
+                rel = self.parent[slots_fix[wr], wc]
+                rel = rel[rel >= 0]
+                if rel.size:
+                    self.children -= np.bincount(rel, minlength=self._cap)
+                self.parent[slots_fix[wr], wc] = -1
+                if pool.size:
+                    cand, valid = self._sample_candidate_matrix(
+                        slots_fix, pool)
+                    headmax = np.where(
+                        valid, self.H[cand, :].max(axis=2), -np.inf
+                    ).max(axis=1)
+                    filled = self._select_parents_batch(
+                        slots_fix, want, cand, valid, headmax)
+                else:
+                    filled = np.zeros(slots_fix.size, dtype=np.int64)
+                short = slots_fix[filled < want.sum(axis=1)]
+                self.next_try[short] = now + cfg.bm_exchange_period_s
+                if _obs is not None:
+                    _obs.registry.counter("fastsim.adaptations").inc(
+                        int(rows_fix.size))
+        if timing:
+            _pt = self._mark_phase("adaptation", _pt)
 
         # 8. departures ----------------------------------------------------------------
         active_or_joining = self.state != _EMPTY
         active_or_joining[: self.n_servers] = False
         # scheduled departures
         due_leave = np.nonzero(active_or_joining & (self.depart_at <= now))[0]
-        for slot in due_leave:
-            silent = bool(rng.random() < 0.1)
-            self._leave(slot, LeaveReason.NORMAL, silent=silent, retry=False)
+        if due_leave.size:
+            silent = rng.random(due_leave.size) < 0.1
+            self._leave_batch(due_leave, LeaveReason.NORMAL,
+                              silent=silent, retry=False)
         # program endings
         while self._program_endings and self._program_endings[-1][0] <= now:
             _t, prob = self._program_endings.pop()
@@ -683,31 +919,37 @@ class FastSimulation:
                 (self.state == _PLAYING) | (self.state == _BUFFERING)
             )[0]
             watchers = watchers[watchers >= self.n_servers]
-            for slot in watchers:
-                if rng.random() < prob:
-                    self._user_deadline[int(self.user_id[slot])] = now
-                    self._leave(slot, LeaveReason.PROGRAM_END, retry=False)
+            if watchers.size:
+                going = watchers[rng.random(watchers.size) < prob]
+                for uid in self.user_id[going]:
+                    self._user_deadline[int(uid)] = now
+                self._leave_batch(going, LeaveReason.PROGRAM_END, retry=False)
         # patience
         waiting = (self.state == _JOINING) | (self.state == _BUFFERING)
         waiting[: self.n_servers] = False
         impatient = np.nonzero(
             waiting & (now - self.joined_at > cfg.join_patience_s)
         )[0]
-        for slot in impatient:
-            self._leave(slot, LeaveReason.IMPATIENCE)
+        if impatient.size:
+            self._leave_batch(impatient, LeaveReason.IMPATIENCE)
         # stall watchdog
         players = np.nonzero(self.state == _PLAYING)[0]
         players = players[players >= self.n_servers]
         if players.size:
             check = players[self.next_watch[players] <= now]
-            for slot in check:
-                self.next_watch[slot] = now + cfg.stall_window_s
-                if self.watch_due[slot] > 0:
-                    cont = 1.0 - self.watch_missed[slot] / self.watch_due[slot]
-                    if cont < cfg.stall_exit_continuity:
-                        self._leave(slot, LeaveReason.FAILURE)
-                self.watch_due[slot] = 0.0
-                self.watch_missed[slot] = 0.0
+            if check.size:
+                self.next_watch[check] = now + cfg.stall_window_s
+                wdue = self.watch_due[check]
+                wmiss = self.watch_missed[check]
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    cont = np.where(wdue > 0, 1.0 - wmiss / wdue, 1.0)
+                stalled = check[(wdue > 0) & (cont < cfg.stall_exit_continuity)]
+                self.watch_due[check] = 0.0
+                self.watch_missed[check] = 0.0
+                if stalled.size:
+                    self._leave_batch(stalled, LeaveReason.FAILURE)
+        if timing:
+            _pt = self._mark_phase("departures", _pt)
 
         # 9. status reports ---------------------------------------------------------------
         period = cfg.status_report_period_s
@@ -720,6 +962,8 @@ class FastSimulation:
             ]
             for slot in fires:
                 self._send_status(int(slot))
+        if timing:
+            self._mark_phase("reports", _pt)
 
         self.now = now + dt
         self.steps_run += 1

@@ -325,3 +325,5 @@ register_backend(FluidBackend.name, FluidBackend)
 # the socket backend registers lazily: its asyncio stack (and everything
 # under repro.net) only loads when an actual net run is requested
 register_backend("net", "repro.net.backend:NetBackend")
+# mean-field ODE backend: population dynamics, O(1) step cost in N
+register_backend("ode", "repro.model.meanfield:MeanFieldBackend")

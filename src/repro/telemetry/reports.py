@@ -18,6 +18,9 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 from typing import ClassVar, Dict, Optional, Type
+from urllib.parse import quote
+
+from .logstring import LOG_PATH, encode_log_string
 
 __all__ = [
     "ActivityEvent",
@@ -76,6 +79,23 @@ class Report:
         """Serialize to the flat ``name=value`` parameter dict."""
         raise NotImplementedError
 
+    def to_log_string(self) -> str:
+        """Encode straight to the wire log string.
+
+        Always equals ``encode_log_string(self.to_params())``; subclasses
+        whose fields are unreserved-only override this with a direct
+        f-string build -- reports are emitted millions of times at
+        paper scale, and skipping the dict round-trip is a measurable
+        win on the simulation hot path.
+        """
+        return encode_log_string(self.to_params())
+
+    def _header_str(self) -> str:
+        # the f-string twin of _header() -- keep the two in sync
+        return (f"{LOG_PATH}?type={self.TYPE}&t={self.time:.3f}"
+                f"&node={self.node_id}&user={self.user_id}"
+                f"&sess={self.session_id}")
+
 
 @dataclass(frozen=True)
 class ActivityReport(Report):
@@ -97,6 +117,14 @@ class ActivityReport(Report):
         if self.reason is not None:
             params["why"] = self.reason.value
         return params
+
+    def to_log_string(self) -> str:
+        """Direct wire encoding (== ``encode_log_string(to_params())``)."""
+        s = (f"{self._header_str()}&ev={self.event.value}"
+             f"&try={self.attempt}&pub={'1' if self.address_public else '0'}")
+        if self.reason is not None:
+            s = f"{s}&why={self.reason.value}"
+        return s
 
     @classmethod
     def from_params(cls, p: Dict[str, str]) -> "ActivityReport":
@@ -136,6 +164,13 @@ class QoSReport(Report):
         params["play"] = "1" if self.playing else "0"
         return params
 
+    def to_log_string(self) -> str:
+        """Direct wire encoding (== ``encode_log_string(to_params())``)."""
+        ci = "" if self.continuity is None else f"&ci={self.continuity:.5f}"
+        return (f"{self._header_str()}{ci}"
+                f"&buf={self.buffered_seconds:.2f}&par={self.n_parents}"
+                f"&play={'1' if self.playing else '0'}")
+
     @classmethod
     def from_params(cls, p: Dict[str, str]) -> "QoSReport":
         """Parse back from a decoded parameter dict."""
@@ -168,6 +203,12 @@ class TrafficReport(Report):
         params["tup"] = f"{self.total_up:.0f}"
         params["tdown"] = f"{self.total_down:.0f}"
         return params
+
+    def to_log_string(self) -> str:
+        """Direct wire encoding (== ``encode_log_string(to_params())``)."""
+        return (f"{self._header_str()}&up={self.bytes_up:.0f}"
+                f"&down={self.bytes_down:.0f}&tup={self.total_up:.0f}"
+                f"&tdown={self.total_down:.0f}")
 
     @classmethod
     def from_params(cls, p: Dict[str, str]) -> "TrafficReport":
@@ -234,6 +275,17 @@ class PartnerReport(Report):
         if self.events:
             params["pev"] = "|".join(e.encode() for e in self.events)
         return params
+
+    def to_log_string(self) -> str:
+        """Direct wire encoding (== ``encode_log_string(to_params())``)."""
+        s = (f"{self._header_str()}&np={self.n_partners}"
+             f"&nin={self.n_incoming}&nout={self.n_outgoing}")
+        if self.events:
+            # the event tokens carry ":" / "|" separators, which the
+            # codec percent-encodes -- mirror it exactly
+            pev = quote("|".join(e.encode() for e in self.events), safe="")
+            s = f"{s}&pev={pev}"
+        return s
 
     @classmethod
     def from_params(cls, p: Dict[str, str]) -> "PartnerReport":

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from operator import attrgetter
 from typing import Iterable, Iterator, List, Optional, TextIO
 
-from repro.telemetry.logstring import decode_log_string, encode_log_string
+from repro.telemetry.logstring import decode_log_string
 from repro.telemetry.reports import Report, parse_report
 from repro.telemetry.sink import LogSink, MemorySink, default_sink
 
@@ -77,9 +77,7 @@ class LogServer:
 
     def receive_report(self, arrival_time: float, report: Report) -> None:
         """Convenience: encode and store a report object."""
-        self.sink.append(
-            LogEntry(arrival_time, encode_log_string(report.to_params()))
-        )
+        self.sink.append(LogEntry(arrival_time, report.to_log_string()))
 
     def flush(self) -> None:
         """Persist buffered lines (rotates a spill sink's current tail to

@@ -143,3 +143,54 @@ class TestDispatch:
             assert back.continuity is None
         else:
             assert back.continuity == pytest.approx(cont, abs=1e-4)
+
+
+class TestFastWireEncoding:
+    """`to_log_string` fast paths must be bit-identical to the codec."""
+
+    REPORTS = [
+        ActivityReport(time=12.5, node_id=7, user_id=3, session_id=9,
+                       event=ActivityEvent.JOIN, attempt=2,
+                       address_public=False),
+        ActivityReport(time=99.0, node_id=7, user_id=3, session_id=9,
+                       event=ActivityEvent.LEAVE,
+                       reason=LeaveReason.PROGRAM_END),
+        QoSReport(time=300.0, node_id=5, user_id=2, session_id=8,
+                  continuity=0.98765, buffered_seconds=22.5, n_parents=4,
+                  playing=True),
+        QoSReport(time=300.0, node_id=5, user_id=2, session_id=8,
+                  continuity=None),
+        TrafficReport(time=600.0, node_id=5, user_id=2, session_id=8,
+                      bytes_up=123456.7, bytes_down=9.2,
+                      total_up=1e9, total_down=2.5e9),
+        PartnerReport(time=300.0, node_id=5, user_id=2, session_id=8,
+                      n_partners=3, n_incoming=1, n_outgoing=2),
+        PartnerReport(
+            time=300.0, node_id=5, user_id=2, session_id=8,
+            events=(PartnerEvent(time=10.0, op=PartnerOp.ADD,
+                                 partner_id=42, incoming=True),
+                    PartnerEvent(time=20.5, op=PartnerOp.DROP,
+                                 partner_id=42, incoming=False)),
+            n_partners=1),
+    ]
+
+    @pytest.mark.parametrize(
+        "report", REPORTS, ids=lambda r: type(r).__name__)
+    def test_matches_codec(self, report):
+        assert report.to_log_string() == encode_log_string(report.to_params())
+
+    @given(
+        t=st.floats(min_value=0, max_value=1e6),
+        user=st.integers(0, 10**6),
+        attempt=st.integers(1, 9),
+        event=st.sampled_from(list(ActivityEvent)),
+        reason=st.none() | st.sampled_from(list(LeaveReason)),
+        pub=st.booleans(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_activity_matches_codec(self, t, user, attempt, event,
+                                             reason, pub):
+        r = ActivityReport(time=t, node_id=user + 100_000, user_id=user,
+                           session_id=user + 1, event=event, attempt=attempt,
+                           address_public=pub, reason=reason)
+        assert r.to_log_string() == encode_log_string(r.to_params())
