@@ -1,4 +1,4 @@
-"""repro.check -- determinism lint for the simulation stack.
+"""repro.check -- static contract analysis for the simulation stack.
 
 The reproduction's headline guarantees (byte-identical workload
 realizations across engines, content-addressed campaign caching,
@@ -8,11 +8,20 @@ stochastic or ordering-sensitive operation routes through
 ``random.random()``, wall-clock read, or ``set`` iteration in a hot path
 silently poisons cache keys and the parity harness.
 
-This package is a custom AST-based static-analysis pass that makes such
-regressions visible before they merge::
+v2 grew the per-file determinism lint into a **two-pass project
+analyzer**: pass 1 harvests cross-module facts from every file
+(telemetry wire fields written by ``Report.to_params`` /
+``to_log_string``, fields each analysis ``Fold`` reads, obs metric
+names emitted vs referenced, the async function inventory -- see
+:mod:`repro.check.project`); pass 2 runs the per-file rules plus
+*project rules* that check producer/consumer contracts across module
+boundaries -- the drift class that corrupts reproduced figures without
+ever crashing::
 
-    python -m repro check src/            # text findings, exit 1 if any
-    python -m repro check src/ --format json
+    python -m repro check src/              # text findings, exit 1 if any
+    python -m repro check src/ --output json
+    python -m repro check src/ --output sarif   # PR-diff annotations
+    python -m repro check src/ --cache .repro-check-cache
     python -m repro check --list-rules
 
 Rule catalog
@@ -28,13 +37,27 @@ DET003  iteration over ``set``/``frozenset`` (or ``dict.keys()``
 FLT001  float ``==`` / ``!=`` comparisons outside tests
 CFG001  config dataclass numeric field lacking validation in
         ``__post_init__`` while sibling fields are validated
+ASY001  blocking call (``time.sleep``, sync socket/file I/O,
+        ``subprocess.run``) inside an ``async def``
+ASY002  coroutine called but never awaited or scheduled (project)
+ASY003  ``create_task``/``ensure_future`` result dropped without a
+        reference or done-callback (silent task death)
+SCH001  telemetry field read (fold / ``from_params``) that no report
+        emits; also ``to_params``/``to_log_string`` twin drift (project)
+SCH002  *warn*: emitted telemetry field nothing consumes (project)
+OBS001  metric name referenced in watch/exporters that no
+        instrumentation site emits (project)
+UNIT001 additive arithmetic mixing unit suffixes (``_s``/``_ms`` vs
+        ``_blocks`` vs ``_bps``/``_kbps``)
 ======  ==============================================================
 
-Findings are suppressed per line with ``# repro: noqa[RULE]`` (comma
-lists allowed; bare ``# repro: noqa`` suppresses every rule) plus a
-short justification comment.
+Findings are suppressed with ``# repro: noqa[RULE]`` (comma lists
+allowed; bare ``# repro: noqa`` suppresses every rule) plus a short
+justification comment.  A marker on *any* physical line of a
+multi-line statement covers the whole statement.
 
-Exit codes: 0 clean, 1 findings, 2 usage/parse error.
+Exit codes: 0 clean (warn-only findings included), 1 error-severity
+findings, 2 usage/parse error.
 """
 
 from repro.check.engine import (
@@ -46,18 +69,26 @@ from repro.check.engine import (
     check_source,
     register,
 )
+from repro.check.project import FileFacts, ProjectContext, harvest_file
 
 # importing the rule modules populates the registry
 import repro.check.rules_determinism  # noqa: F401
 import repro.check.rules_float  # noqa: F401
 import repro.check.rules_config  # noqa: F401
+import repro.check.rules_async  # noqa: F401
+import repro.check.rules_schema  # noqa: F401
+import repro.check.rules_obs  # noqa: F401
+import repro.check.rules_units  # noqa: F401
 
 __all__ = [
     "CheckReport",
+    "FileFacts",
     "Finding",
+    "ProjectContext",
     "Rule",
     "all_rules",
     "check_paths",
     "check_source",
+    "harvest_file",
     "register",
 ]

@@ -1,20 +1,30 @@
-"""``python -m repro check`` -- run the determinism lint.
+"""``python -m repro check`` -- run the static contract analysis.
 
 Usage::
 
     python -m repro check src/                 # text findings
-    python -m repro check src/ --format json   # machine-readable
+    python -m repro check src/ --output json   # machine-readable
+    python -m repro check src/ --output sarif  # for PR-diff annotation
+    python -m repro check src/ --cache .repro-check-cache
     python -m repro check src/repro/sim --select DET001,DET002
     python -m repro check --list-rules
 
-Exit codes: 0 clean, 1 findings, 2 usage error / unparseable file.
+Exit codes: 0 clean (warn-only findings count as clean), 1 findings,
+2 usage error / unparseable file.
 
-The JSON document is stable (schema version 1)::
+The JSON document is stable (schema version 2)::
 
-    {"version": 1, "files_checked": N,
+    {"version": 2, "files_checked": N,
      "counts": {"DET001": 2, ...},
-     "findings": [{"rule", "message", "path", "line", "col"}, ...],
-     "errors": []}
+     "findings": [{"rule", "message", "path", "line", "col",
+                   "severity"}, ...],
+     "errors": [],
+     "cache": {"hits": 0, "misses": 0}}
+
+``--cache DIR`` keys per-file results on a content hash of the file
+bytes plus the active rule-set version; findings are byte-identical
+with and without the cache (project rules always recompute from the
+cached fact tables).
 """
 
 from __future__ import annotations
@@ -38,12 +48,19 @@ def _split_rules(value: Optional[str]) -> Optional[List[str]]:
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro check",
-        description="AST-based determinism lint for the repro codebase.",
+        description="AST-based static contract analysis for the repro "
+                    "codebase (determinism, async-safety, telemetry "
+                    "schema conformance).",
     )
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to check (default: src)")
-    parser.add_argument("--format", choices=("text", "json"), default="text",
+    # --format is the historical spelling; both write the same dest
+    parser.add_argument("--output", "--format", dest="output",
+                        choices=("text", "json", "sarif"), default="text",
                         help="output format (default text)")
+    parser.add_argument("--cache", metavar="DIR", default=None,
+                        help="content-hash result cache directory "
+                             "(unchanged files skip parsing entirely)")
     parser.add_argument("--select", metavar="RULES", default=None,
                         help="comma-separated rule ids to run exclusively")
     parser.add_argument("--ignore", metavar="RULES", default=None,
@@ -63,7 +80,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.list_rules:
         for rule in all_rules():
-            print(f"{rule.id}  {rule.title}")
+            scope = "project" if rule.project else "file"
+            sev = "" if rule.severity == "error" else f", {rule.severity}"
+            print(f"{rule.id}  {rule.title}  ({scope}{sev})")
             print(f"        {rule.rationale}")
         return 0
 
@@ -72,23 +91,36 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.paths,
             select=_split_rules(args.select),
             ignore=_split_rules(args.ignore),
+            cache_dir=args.cache,
         )
     except CheckError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    if args.format == "json":
+    if args.output == "json":
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    elif args.output == "sarif":
+        from repro.check.sarif import render_sarif
+        rules = select_rules_for_sarif(args)
+        print(json.dumps(render_sarif(report, rules), indent=2))
     else:
         for finding in report.findings:
             print(finding.render())
         for err in report.errors:
             print(f"error: {err}", file=sys.stderr)
         n = len(report.findings)
-        summary = (f"{n} finding{'s' if n != 1 else ''} "
+        warns = sum(1 for f in report.findings if f.severity != "error")
+        tail = f" ({warns} warn-only)" if warns else ""
+        summary = (f"{n} finding{'s' if n != 1 else ''}{tail} "
                    f"in {report.files_checked} files checked")
         print(summary if n else f"clean: {summary}")
     return report.exit_code
+
+
+def select_rules_for_sarif(args: argparse.Namespace):
+    """The rule set to describe in the SARIF rule table."""
+    from repro.check.engine import select_rules
+    return select_rules(_split_rules(args.select), _split_rules(args.ignore))
 
 
 if __name__ == "__main__":  # pragma: no cover - module execution hook

@@ -1,0 +1,154 @@
+"""Async-safety rules: ASY001 (blocking call in ``async def``),
+ASY002 (coroutine never awaited), ASY003 (dropped task reference).
+
+The ``repro.net`` backend multiplexes every peer of a deployment onto
+one event loop, so a single blocking call stalls *all* peers at once
+and distorts the very timing measurements the backend exists to take.
+The other two rules target the quieter failure modes: a coroutine
+called like a function silently does nothing, and a task created
+without a saved reference can be garbage-collected mid-flight -- the
+"silent task death" the kill-one-peer recovery test probes dynamically,
+checked statically here.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List
+
+from repro.check.engine import FileContext, Finding, Rule, register
+from repro.check.project import ProjectContext
+
+__all__ = ["BlockingCallInAsync", "CoroutineNeverAwaited",
+           "DroppedTaskReference"]
+
+
+#: qualified names that block the calling thread; values suggest the fix
+_BLOCKING: Dict[str, str] = {
+    "time.sleep": "await asyncio.sleep(...) instead",
+    "subprocess.run": "use asyncio.create_subprocess_exec",
+    "subprocess.call": "use asyncio.create_subprocess_exec",
+    "subprocess.check_call": "use asyncio.create_subprocess_exec",
+    "subprocess.check_output": "use asyncio.create_subprocess_exec",
+    "subprocess.getoutput": "use asyncio.create_subprocess_exec",
+    "subprocess.getstatusoutput": "use asyncio.create_subprocess_exec",
+    "os.system": "use asyncio.create_subprocess_shell",
+    "socket.create_connection": "use loop.sock_connect / open_connection",
+    "socket.getaddrinfo": "use loop.getaddrinfo",
+    "socket.gethostbyname": "use loop.getaddrinfo",
+    "urllib.request.urlopen": "use a non-blocking transport",
+}
+
+
+def _direct_nodes(fn: ast.AST) -> Iterator[ast.AST]:
+    """Nodes executed *by this coroutine itself*: nested function and
+    lambda bodies are deferred work, not blocking at definition time."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class BlockingCallInAsync(Rule):
+    """ASY001: a thread-blocking call inside an ``async def``."""
+
+    id = "ASY001"
+    title = "blocking call inside async def"
+    rationale = ("one event loop runs every peer of a net deployment; "
+                 "a blocking call (time.sleep, sync socket/file I/O, "
+                 "subprocess.run) stalls them all and skews timing")
+    interests = ("AsyncFunctionDef",)
+
+    def on_node(self, node: ast.AST,
+                ctx: FileContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.AsyncFunctionDef)
+        for sub in _direct_nodes(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            resolved = ctx.resolve(sub.func)
+            if resolved in _BLOCKING:
+                yield ctx.finding(
+                    self, sub,
+                    f"blocking {resolved}() inside async def "
+                    f"{node.name}; {_BLOCKING[resolved]}")
+            elif (isinstance(sub.func, ast.Name)
+                    and sub.func.id == "open"
+                    and ctx.resolve(sub.func) is None):
+                yield ctx.finding(
+                    self, sub,
+                    f"blocking file open() inside async def {node.name}; "
+                    "do file I/O outside the event loop or via a thread")
+
+
+@register
+class CoroutineNeverAwaited(Rule):
+    """ASY002: coroutine called as a statement -- never awaited."""
+
+    id = "ASY002"
+    title = "coroutine called but never awaited/scheduled"
+    rationale = ("calling an async function without await/create_task "
+                 "builds a coroutine object and discards it: the body "
+                 "never runs, and Python only warns at GC time")
+    project = True
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for facts in project.files:
+            for kind, name, resolved, line, col in facts.bare_calls:
+                if kind == "name":
+                    qualified = f"{facts.module}.{name}"
+                    if (resolved in project.async_funcs
+                            or qualified in project.async_funcs):
+                        yield self.project_finding(
+                            facts.path, line, col,
+                            f"coroutine {name}() is called but never "
+                            "awaited or scheduled; its body will not run")
+                else:
+                    # only flag method names that are unambiguously
+                    # async across the whole project
+                    if (name in project.async_methods
+                            and name not in project.sync_methods):
+                        yield self.project_finding(
+                            facts.path, line, col,
+                            f"coroutine method .{name}() is called but "
+                            "never awaited or scheduled; its body will "
+                            "not run")
+
+
+@register
+class DroppedTaskReference(Rule):
+    """ASY003: ``create_task`` / ``ensure_future`` result discarded."""
+
+    id = "ASY003"
+    title = "task reference dropped at creation"
+    rationale = ("the event loop holds only a weak reference to tasks; "
+                 "an unreferenced task can be garbage-collected "
+                 "mid-flight and die silently (no exception, no log)")
+    interests = ("Expr",)
+
+    _SPAWNERS = frozenset({"create_task", "ensure_future"})
+
+    def on_node(self, node: ast.AST,
+                ctx: FileContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Expr)
+        call = node.value
+        if not isinstance(call, ast.Call):
+            return
+        func = call.func
+        name: str = ""
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+        elif isinstance(func, ast.Name):
+            resolved = ctx.resolve(func) or ""
+            if resolved.startswith("asyncio."):
+                name = func.id
+        if name in self._SPAWNERS:
+            yield ctx.finding(
+                self, node,
+                f"result of {name}(...) is dropped: keep the Task (e.g. "
+                "add it to a set with a done-callback discard) or it "
+                "may be garbage-collected before finishing")

@@ -1,0 +1,44 @@
+"""Observability contract rule: OBS001.
+
+``obs/watch.py`` and the exporters consume metrics by *name* -- string
+lookups like ``m.get("run.live_peers")`` or preference tables like
+``_WORK_COUNTERS`` -- while instrumentation sites emit them through
+``registry.counter("...")`` / ``obs.inc("...")`` calls scattered across
+the engines.  Renaming an emit site leaves every consumer silently
+reading ``None``: the live watch view shows dashes, not an error.
+OBS001 closes the loop statically by comparing the harvested reference
+table against the harvested emit table (literal names plus f-string
+prefixes such as ``rng.sanitizer.``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.check.engine import Finding, Rule, register
+from repro.check.project import ProjectContext
+
+__all__ = ["MetricReferencedNotEmitted"]
+
+
+@register
+class MetricReferencedNotEmitted(Rule):
+    """OBS001: metric name referenced that no instrumentation emits."""
+
+    id = "OBS001"
+    title = "metric referenced but never emitted"
+    rationale = ("watch/exporters look metrics up by name; a renamed "
+                 "emit site makes every consumer read None silently -- "
+                 "the dashboard shows dashes, never an error")
+    project = True
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        if not project.metric_emits and not project.metric_prefixes:
+            return  # no instrumentation in view: nothing to compare
+        for facts in project.files:
+            for name, line, col in facts.metric_refs:
+                if not project.emits_metric(name):
+                    yield self.project_finding(
+                        facts.path, line, col,
+                        f"metric {name!r} is referenced here but no "
+                        "instrumentation site emits it")

@@ -1,0 +1,102 @@
+"""Unit-suffix dataflow rule: UNIT001.
+
+The codebase carries units in names -- ``buffered_seconds``,
+``deadline_s``, ``rate_kbps``, ``window_blocks`` -- because everything
+is a bare float at runtime.  The SoA fluid engine mixes all three
+families (seconds, blocks, bits-per-second) in tight arithmetic, where
+adding a block count to a second count produces a plausible-looking
+wrong number rather than an error.  UNIT001 flags *additive* operations
+(``+``/``-``, including augmented assignment) whose two operands carry
+recognizably different unit suffixes.
+
+Scope is deliberately narrow to stay false-positive-free: only bare
+names and attribute reads participate (a call result such as
+``ms_to_s(x)`` has no suffix and is skipped -- wrapping one side in a
+conversion function is the sanctioned escape hatch), and only exact
+``_suffix`` tails from the known table count.  Multiplicative ops are
+legitimate unit algebra (``rate_bps * window_s``) and are never
+flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.check.engine import FileContext, Finding, Rule, register
+
+__all__ = ["MixedUnitArithmetic"]
+
+#: suffix -> (canonical unit token, human-readable dimension)
+_SUFFIXES = {
+    "s": ("s", "seconds"),
+    "sec": ("s", "seconds"),
+    "secs": ("s", "seconds"),
+    "seconds": ("s", "seconds"),
+    "ms": ("ms", "milliseconds"),
+    "us": ("us", "microseconds"),
+    "ns": ("ns", "nanoseconds"),
+    "block": ("blocks", "blocks"),
+    "blocks": ("blocks", "blocks"),
+    "bps": ("bps", "bits/s"),
+    "kbps": ("kbps", "kbits/s"),
+    "mbps": ("mbps", "Mbits/s"),
+    "gbps": ("gbps", "Gbits/s"),
+    "bytes": ("bytes", "bytes"),
+    "kb": ("kb", "kilobytes"),
+    "mb": ("mb", "megabytes"),
+    "gb": ("gb", "gigabytes"),
+}
+
+
+def _unit_of(node: ast.AST) -> Optional[Tuple[str, str, str]]:
+    """(name, unit token, dimension) when ``node`` is a suffixed bare
+    name or attribute read; None for anything computed."""
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    else:
+        return None
+    if "_" not in name:
+        return None
+    suffix = name.rsplit("_", 1)[1].lower()
+    entry = _SUFFIXES.get(suffix)
+    if entry is None:
+        return None
+    return name, entry[0], entry[1]
+
+
+@register
+class MixedUnitArithmetic(Rule):
+    """UNIT001: additive arithmetic across different unit suffixes."""
+
+    id = "UNIT001"
+    title = "additive arithmetic mixes unit suffixes"
+    rationale = ("adding seconds to blocks (or bps to kbps) yields a "
+                 "plausible wrong float, not an error; convert one side "
+                 "explicitly (a conversion call clears the suffix)")
+    interests = ("BinOp", "AugAssign")
+
+    def on_node(self, node: ast.AST,
+                ctx: FileContext) -> Iterator[Finding]:
+        if isinstance(node, ast.BinOp):
+            if not isinstance(node.op, (ast.Add, ast.Sub)):
+                return
+            left, right = node.left, node.right
+        else:
+            assert isinstance(node, ast.AugAssign)
+            if not isinstance(node.op, (ast.Add, ast.Sub)):
+                return
+            left, right = node.target, node.value
+        a = _unit_of(left)
+        b = _unit_of(right)
+        if a is None or b is None:
+            return
+        if a[1] == b[1]:
+            return
+        op = "+" if isinstance(node.op, ast.Add) else "-"
+        yield ctx.finding(
+            self, node,
+            f"{a[0]} ({a[2]}) {op} {b[0]} ({b[2]}) mixes unit "
+            "suffixes; convert one side explicitly first")

@@ -1,0 +1,72 @@
+"""SARIF 2.1.0 rendering for ``repro check --output sarif``.
+
+The static-analysis CI job uploads this document through
+``github/codeql-action/upload-sarif`` so findings annotate PR diffs in
+place.  Only the minimal, widely-supported subset of the schema is
+emitted: one run, one driver, a rule table mirroring ``--list-rules``,
+and one result per finding with a physical location.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.check.engine import CheckReport, RULESET_VERSION, Rule
+
+__all__ = ["render_sarif"]
+
+_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+           "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def _level(severity: str) -> str:
+    return "warning" if severity == "warn" else "error"
+
+
+def render_sarif(report: CheckReport, rules: List[Rule]) -> Dict[str, object]:
+    """SARIF document (plain dict, caller serializes) for ``report``."""
+    rule_meta = [
+        {
+            "id": rule.id,
+            "shortDescription": {"text": rule.title},
+            "fullDescription": {"text": rule.rationale},
+            "defaultConfiguration": {"level": _level(rule.severity)},
+        }
+        for rule in rules
+    ]
+    results = [
+        {
+            "ruleId": f.rule,
+            "level": _level(f.severity),
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path.replace("\\", "/")},
+                        "region": {
+                            "startLine": f.line,
+                            # SARIF columns are 1-based; AST cols 0-based
+                            "startColumn": f.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for f in report.findings
+    ]
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-check",
+                        "version": RULESET_VERSION,
+                        "rules": rule_meta,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

@@ -145,6 +145,10 @@ class NetSystem:
         self.pump: Callable[[], None] = lambda: None
         #: event loop peers spawn their I/O tasks on (set by the backend)
         self.loop: Optional[asyncio.AbstractEventLoop] = None
+        #: strong refs to in-flight background tasks -- the loop only
+        #: keeps weak ones, so an unreferenced task can be collected
+        #: mid-flight and die without ever raising (ASY003)
+        self._bg_tasks: set = set()
 
         _ctx = _obs_context.current()
         if _ctx is not None:
@@ -238,9 +242,16 @@ class NetSystem:
         return node
 
     def spawn_task(self, coro) -> None:
-        """Run a coroutine on the deployment's event loop."""
+        """Run a coroutine on the deployment's event loop.
+
+        The returned task is kept in :attr:`_bg_tasks` until done;
+        without that strong reference the loop's weak tracking would
+        let a busy GC collect the task before it finishes.
+        """
         assert self.loop is not None, "backend must install the event loop"
-        self.loop.create_task(coro)
+        task = self.loop.create_task(coro)
+        self._bg_tasks.add(task)
+        task.add_done_callback(self._bg_tasks.discard)
 
     def on_node_left(self, node: PeerNode) -> None:
         """Callback from a leaving node (registry keeps the dead object,

@@ -23,9 +23,11 @@ def quick_experiment(*, seed: int, offset: float = 0.0) -> FigureResult:
 
 def busy_experiment(*, seed: int, spin_s: float = 0.3) -> FigureResult:
     """Burns ~spin_s of CPU (for speedup/heartbeat behaviour)."""
-    t0 = time.perf_counter()
+    # wall clock is the point here: the experiment must burn real CPU
+    # time so campaign speedup/heartbeat behaviour is observable
+    t0 = time.perf_counter()  # repro: noqa[DET002]
     x = float(seed)
-    while time.perf_counter() - t0 < spin_s:
+    while time.perf_counter() - t0 < spin_s:  # repro: noqa[DET002]
         x = (x * 1.0000001 + 1.0) % 1e9
     fr = FigureResult("Fig. B", "busy")
     fr.metrics["x"] = x

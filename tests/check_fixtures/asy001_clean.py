@@ -1,0 +1,19 @@
+"""Fixture: ASY001-clean -- async code that never blocks the loop."""
+import asyncio
+import time
+
+
+async def pump_blocks():
+    await asyncio.sleep(0.5)
+
+    def sync_helper():
+        # deferred work: a nested sync function may block when *it* is
+        # called, which is the call site's problem, not this coroutine's
+        time.sleep(0.01)
+
+    return sync_helper
+
+
+def plain_sync_reader(path):
+    with open(path) as fh:
+        return fh.read()

@@ -1,0 +1,8 @@
+"""Fixture: ASY001 occurrences silenced with per-line suppressions."""
+import time
+
+
+async def pump_blocks():
+    time.sleep(0.5)  # repro: noqa[ASY001] fixture: demo suppression
+    data = open("/tmp/f.dat")  # repro: noqa[ASY001] fixture: demo suppression
+    return data

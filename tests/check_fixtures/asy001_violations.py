@@ -1,0 +1,16 @@
+"""Fixture: ASY001 positives -- blocking calls inside async defs."""
+import socket
+import subprocess
+import time
+
+
+async def pump_blocks():
+    time.sleep(0.5)
+    data = open("/tmp/fixture.dat").read()
+    return data
+
+
+async def dial_coordinator(host, port):
+    sock = socket.create_connection((host, port))
+    subprocess.run(["true"])
+    return sock

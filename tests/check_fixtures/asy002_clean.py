@@ -1,0 +1,28 @@
+"""Fixture: ASY002-clean -- every coroutine awaited or scheduled."""
+import asyncio
+
+
+async def rebalance_parents():
+    await asyncio.sleep(0)
+
+
+async def main():
+    await rebalance_parents()
+    task = asyncio.get_event_loop().create_task(rebalance_parents())
+    await task
+
+
+class Mixed:
+    # same method name defined both sync and async elsewhere in the
+    # project makes a bare .close() call ambiguous: never flagged
+    async def close(self):
+        await asyncio.sleep(0)
+
+
+class SyncTwin:
+    def close(self):
+        pass
+
+
+def shutdown(conn):
+    conn.close()

@@ -1,0 +1,10 @@
+"""Fixture: ASY002 occurrences silenced with per-line suppressions."""
+import asyncio
+
+
+async def warm_partner_cache():
+    await asyncio.sleep(0)
+
+
+def run_once():
+    warm_partner_cache()  # repro: noqa[ASY002] fixture: demo suppression

@@ -1,0 +1,16 @@
+"""Fixture: ASY002 positives -- coroutines called, never awaited."""
+import asyncio
+
+
+async def refresh_partner_list():
+    await asyncio.sleep(0)
+
+
+class BlockFetcher:
+    async def fetch_missing_blocks(self):
+        await asyncio.sleep(0)
+
+
+def run_once(fetcher):
+    refresh_partner_list()
+    fetcher.fetch_missing_blocks()

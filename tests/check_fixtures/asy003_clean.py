@@ -1,0 +1,20 @@
+"""Fixture: ASY003-clean -- every spawned task keeps a reference."""
+import asyncio
+
+
+async def heartbeat():
+    await asyncio.sleep(0)
+
+
+_TASKS = set()
+
+
+def schedule(loop):
+    task = loop.create_task(heartbeat())
+    _TASKS.add(task)
+    task.add_done_callback(_TASKS.discard)
+    return task
+
+
+async def scoped():
+    await asyncio.gather(asyncio.ensure_future(heartbeat()))

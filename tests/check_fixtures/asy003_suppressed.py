@@ -1,0 +1,10 @@
+"""Fixture: ASY003 occurrences silenced with per-line suppressions."""
+import asyncio
+
+
+async def heartbeat():
+    await asyncio.sleep(0)
+
+
+def schedule(loop):
+    loop.create_task(heartbeat())  # repro: noqa[ASY003] fixture: demo

@@ -1,0 +1,11 @@
+"""Fixture: ASY003 positives -- task references dropped at creation."""
+import asyncio
+
+
+async def heartbeat():
+    await asyncio.sleep(0)
+
+
+def schedule(loop):
+    loop.create_task(heartbeat())
+    asyncio.ensure_future(heartbeat())

@@ -1,0 +1,13 @@
+"""Fixture: OBS001-clean -- every referenced metric has an emit site."""
+
+
+def instrument(reg, kind):
+    reg.counter("fixture.peers_joined")
+    reg.inc(f"fixture.leave_reason.{kind}")
+
+
+def render(snapshot):
+    joined = snapshot.get("fixture.peers_joined")
+    # dynamic family: matched by the harvested f-string prefix
+    failures = snapshot.get("fixture.leave_reason.failure")
+    return joined, failures

@@ -1,0 +1,12 @@
+"""Fixture: OBS001 occurrence silenced with a per-line suppression."""
+
+
+def instrument(reg):
+    reg.counter("fixture.frames_decoded")
+
+
+def render(snapshot):
+    decoded = snapshot.get("fixture.frames_decoded")
+    # emitted by an optional plugin, not visible to the checker
+    dropped = snapshot.get("fixture.frames_dropped")  # repro: noqa[OBS001]
+    return decoded, dropped

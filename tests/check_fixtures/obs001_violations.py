@@ -1,0 +1,20 @@
+"""Fixture: OBS001 positives -- metric names with no emit site."""
+
+
+class Registry:
+    def __init__(self):
+        self.metrics = {}
+
+    def counter(self, name):
+        self.metrics.setdefault(name, 0)
+
+
+def instrument(reg: Registry):
+    reg.counter("fixture.blocks_served")
+
+
+def render(snapshot):
+    served = snapshot.get("fixture.blocks_served")
+    missed = snapshot.get("fixture.blocks_missed")
+    stalled = "fixture.stalls_total" in snapshot
+    return served, missed, stalled

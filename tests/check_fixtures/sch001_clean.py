@@ -1,0 +1,30 @@
+"""Fixture: SCH001-clean -- producer and consumer agree on the wire."""
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class TickReport:
+    time: float
+    ticks: int
+
+    def to_params(self) -> Dict[str, str]:
+        return {"t": f"{self.time:.3f}", "tk": str(self.ticks)}
+
+    def to_log_string(self) -> str:
+        return f"/log?t={self.time:.3f}&tk={self.ticks}"
+
+    @classmethod
+    def from_params(cls, p: Dict[str, str]) -> "TickReport":
+        return cls(time=float(p["t"]), ticks=int(p.get("tk", "0")))
+
+
+class TickFold:
+    def __init__(self):
+        self.total = 0
+
+    def update(self, report):
+        self.total += report.ticks
+
+    def result(self):
+        return self.total

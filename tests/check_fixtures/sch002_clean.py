@@ -1,0 +1,16 @@
+"""Fixture: SCH002-clean -- every emitted field has a consumer."""
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class EchoReport:
+    time: float
+    rtt: float
+
+    def to_params(self) -> Dict[str, str]:
+        return {"t": f"{self.time:.3f}", "rtt": f"{self.rtt:.4f}"}
+
+    @classmethod
+    def from_params(cls, p: Dict[str, str]) -> "EchoReport":
+        return cls(time=float(p["t"]), rtt=float(p["rtt"]))

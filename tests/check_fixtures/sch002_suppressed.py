@@ -1,0 +1,19 @@
+"""Fixture: SCH002 occurrence silenced with a per-line suppression."""
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class ProbeReport:
+    time: float
+    probe_id: int
+
+    def to_params(self) -> Dict[str, str]:
+        return {
+            "t": f"{self.time:.3f}",
+            "probe": str(self.probe_id),  # repro: noqa[SCH002] future use
+        }
+
+    @classmethod
+    def from_params(cls, p: Dict[str, str]) -> "ProbeReport":
+        return cls(time=float(p["t"]), probe_id=0)

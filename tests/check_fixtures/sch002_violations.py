@@ -1,0 +1,21 @@
+"""Fixture: SCH002 positives -- emitted wire field nothing reads back."""
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class BeaconReport:
+    time: float
+    hop_count: int
+
+    def to_params(self) -> Dict[str, str]:
+        return {
+            "t": f"{self.time:.3f}",
+            # "hopc" is serialized on every beacon but no consumer ever
+            # parses it back: pure log-server load (warn-level)
+            "hopc": str(self.hop_count),
+        }
+
+    @classmethod
+    def from_params(cls, p: Dict[str, str]) -> "BeaconReport":
+        return cls(time=float(p["t"]), hop_count=0)

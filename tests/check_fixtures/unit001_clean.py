@@ -1,0 +1,16 @@
+"""Fixture: UNIT001-clean -- unit-consistent arithmetic only."""
+
+BLOCK_SECONDS = 1.0
+
+
+def blocks_to_s(blocks):
+    return blocks * BLOCK_SECONDS
+
+
+def advance(buffer_blocks, horizon_s, window_s, rate_bps):
+    same_unit = horizon_s + window_s
+    converted = horizon_s + blocks_to_s(buffer_blocks)
+    # multiplicative unit algebra is legitimate (bits = bps * s)
+    bits = rate_bps * window_s
+    untagged = buffer_blocks + 3
+    return same_unit, converted, bits, untagged

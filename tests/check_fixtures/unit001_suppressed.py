@@ -1,0 +1,7 @@
+"""Fixture: UNIT001 occurrences silenced with per-line suppressions."""
+
+
+def advance(buffer_blocks, horizon_s):
+    # blocks happen to be 1s long in this scenario
+    total = buffer_blocks + horizon_s  # repro: noqa[UNIT001]
+    return total

@@ -1,0 +1,19 @@
+"""Fixture: UNIT001 positives -- additive arithmetic across units."""
+
+
+def advance(buffer_blocks, horizon_s, rate_kbps, budget_bps):
+    total = buffer_blocks + horizon_s
+    drift = horizon_s - buffer_blocks
+    mixed_rate = rate_kbps + budget_bps
+    acc_ms = 0.0
+    acc_ms += horizon_s
+    return total, drift, mixed_rate, acc_ms
+
+
+class Window:
+    def __init__(self):
+        self.span_s = 0.0
+        self.depth_blocks = 0
+
+    def widen(self):
+        return self.span_s + self.depth_blocks

@@ -113,13 +113,16 @@ def test_cli_json_schema(tmp_path, capsys):
     path = _write(tmp_path, "dirty.py", VIOLATING)
     assert check_main([path, "--format", "json"]) == 1
     doc = json.loads(capsys.readouterr().out)
-    assert doc["version"] == 1
+    assert doc["version"] == 2
     assert doc["files_checked"] == 1
     assert doc["counts"] == {"DET001": 1}
     assert doc["errors"] == []
+    assert doc["cache"] == {"hits": 0, "misses": 0}
     (finding,) = doc["findings"]
-    assert set(finding) == {"rule", "message", "path", "line", "col"}
+    assert set(finding) == {"rule", "message", "path", "line", "col",
+                            "severity"}
     assert finding["rule"] == "DET001"
+    assert finding["severity"] == "error"
     assert finding["line"] == 4
 
 
@@ -133,14 +136,19 @@ def test_cli_json_clean(tmp_path, capsys):
 def test_cli_list_rules(capsys):
     assert check_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule in ("DET001", "DET002", "DET003", "FLT001", "CFG001"):
+    for rule in ("DET001", "DET002", "DET003", "FLT001", "CFG001",
+                 "ASY001", "ASY002", "ASY003", "SCH001", "SCH002",
+                 "OBS001", "UNIT001"):
         assert rule in out
 
 
 def test_registry_is_complete_and_sorted():
     ids = [r.id for r in all_rules()]
     assert ids == sorted(ids)
-    assert set(ids) >= {"DET001", "DET002", "DET003", "FLT001", "CFG001"}
+    assert set(ids) >= {"DET001", "DET002", "DET003", "FLT001", "CFG001",
+                        "ASY001", "ASY002", "ASY003", "SCH001", "SCH002",
+                        "OBS001", "UNIT001"}
+    assert len(ids) >= 11  # acceptance criterion: --list-rules >= 11 ids
 
 
 # --- python -m repro check dispatch ---------------------------------------

@@ -23,7 +23,9 @@ FIXTURES = Path(__file__).parent / "check_fixtures"
 #: outside every allowlist)
 VIRTUAL = "src/repro/fixture_under_check.py"
 
-RULES = ["DET001", "DET002", "DET003", "FLT001", "CFG001"]
+RULES = ["DET001", "DET002", "DET003", "FLT001", "CFG001",
+         "ASY001", "ASY002", "ASY003", "SCH001", "SCH002", "UNIT001",
+         "OBS001"]
 
 #: how many findings the violations fixture of each rule must produce
 EXPECTED_VIOLATIONS = {
@@ -32,6 +34,13 @@ EXPECTED_VIOLATIONS = {
     "DET003": 5,   # for-set, list(set), comprehension, choice, shuffle
     "FLT001": 3,   # ==, !=, reversed ==
     "CFG001": 1,   # window_s unvalidated
+    "ASY001": 4,   # time.sleep, open, create_connection, subprocess.run
+    "ASY002": 2,   # bare coroutine call, bare async-method call
+    "ASY003": 2,   # loop.create_task, asyncio.ensure_future
+    "SCH001": 4,   # twin drift, unknown attr, unread wire key x2
+    "SCH002": 1,   # "hopc" emitted, never parsed back
+    "UNIT001": 5,  # blocks+s, s-blocks, kbps+bps, ms+=s, attr s+blocks
+    "OBS001": 2,   # .get() miss + membership-probe miss
 }
 
 
@@ -141,3 +150,23 @@ def test_repro_tree_is_clean():
     assert report.errors == []
     assert report.findings == [], "\n".join(
         f.render() for f in report.findings)
+
+
+def test_repro_tree_with_tests_is_clean():
+    """The project pass over src *and* tests stays clean (CI gate)."""
+    from repro.check import check_paths
+
+    root = Path(__file__).parent.parent
+    report = check_paths([str(root / "src"), str(root / "tests")])
+    assert report.errors == []
+    assert report.findings == [], "\n".join(
+        f.render() for f in report.findings)
+
+
+def test_fixture_directory_is_skipped_by_directory_expansion():
+    """Expanding tests/ never picks up the deliberate-violation fixtures."""
+    from repro.check.engine import iter_python_files
+
+    files = iter_python_files([str(Path(__file__).parent)])
+    assert files, "expected test files"
+    assert not any("check_fixtures" in str(f) for f in files)
